@@ -1,0 +1,148 @@
+"""Experiment A-cache — buffer-size behaviour: EGO vs ε-kdB-tree.
+
+Section 2.2 of the paper: the ε-kdB-tree join needs two adjacent
+ε-stripes resident — measured at ~60 % of an 8-dimensional artificial
+database ([BK 01]) — and "failed in the required configuration" when a
+stripe outgrew the cache.  EGO, in contrast, degrades gracefully: a
+smaller buffer only increases crabstep re-reads.
+
+Two tables:
+
+* the ε-kdB stripe-pair cache requirement on 8-d uniform and on skewed
+  (clustered) data, vs the 10 % budget every algorithm gets in the
+  evaluation — the join must *refuse* to run;
+* EGO's re-read factor (unit loads / units) as the buffer fraction
+  shrinks from 25 % to 2 %.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ego_join import ego_self_join_file
+from repro.data.loader import make_point_file
+from repro.data.synthetic import gaussian_clusters, uniform
+from repro.index.epskdb import EpsKdbCacheError, StripedDataset
+from repro.index.msj import LevelFiles, level_zero_probability
+from repro.joins.epskdb_join import epskdb_self_join
+
+from _harness import emit
+
+N = 5000
+EPSILON = 0.25
+
+
+def epskdb_rows():
+    rows = []
+    for name, pts in [
+            ("uniform 8-d", uniform(N, 8, seed=900)),
+            ("clustered 8-d", gaussian_clusters(N, 8, clusters=6,
+                                                std=0.05, seed=901))]:
+        striped = StripedDataset(np.arange(N), pts, EPSILON)
+        fraction = striped.max_pair_fraction()
+        refused = False
+        try:
+            epskdb_self_join(np.arange(N), pts, EPSILON,
+                             cache_records=N // 10, materialize=False)
+        except EpsKdbCacheError:
+            refused = True
+        rows.append({"workload": name,
+                     "stripes": striped.num_stripes,
+                     "required_cache_fraction": fraction,
+                     "multiscan_fraction": striped.max_quad_fraction(),
+                     "runs_at_10%_budget": not refused})
+    return rows
+
+
+def msj_rows():
+    """The MSJ/S³J side of the §2.2 criticism.
+
+    [BK 01] measured "an average of 46 % of the DB size (e.g. for
+    8-dimensional artificial data)" resident during the MSJ scan; the
+    level-file model reproduces the statistic and its growth with d.
+    """
+    rows = []
+    for d in (2, 4, 8, 16):
+        pts = uniform(N, d, seed=910 + d)
+        structure = LevelFiles(pts, EPSILON)
+        rows.append({
+            "dimensions": d,
+            "level0_fraction": float(
+                (structure.levels_of == 0).mean()),
+            "analytic_level0": level_zero_probability(EPSILON, d),
+            "avg_resident_fraction":
+                structure.average_resident_fraction(),
+        })
+    return rows
+
+
+def ego_rows():
+    pts = uniform(N, 8, seed=902)
+    rows = []
+    for fraction in (0.25, 0.10, 0.05, 0.02):
+        budget_bytes = max(4 * 72, int(N * 72 * fraction))
+        unit_bytes = max(16 * 72, budget_bytes // 8)
+        buffer_units = max(2, budget_bytes // unit_bytes)
+        disk, pf = make_point_file(pts)
+        try:
+            report = ego_self_join_file(pf, EPSILON,
+                                        unit_bytes=unit_bytes,
+                                        buffer_units=buffer_units,
+                                        materialize=False)
+        finally:
+            disk.close()
+        stats = report.schedule_stats
+        units = stats.gallop_loads + stats.crabstep_pins
+        rows.append({"buffer_fraction": fraction,
+                     "unit_loads": stats.total_unit_loads,
+                     "reread_factor": stats.total_unit_loads / units,
+                     "pairs": report.result.count})
+    return rows
+
+
+def test_ablation_buffer(benchmark):
+    erows = epskdb_rows()
+    emit("ablation_epskdb_cache",
+         f"§2.2: eps-kdB-tree stripe-pair cache requirement "
+         f"(n={N}, eps={EPSILON})", erows)
+    # The paper's criticism reproduced: far more than 10 % of the DB is
+    # required, so the join refuses under the evaluation's budget.  The
+    # multi-scan extension lowers the requirement (the paper's 60 % →
+    # 36 % observation) but stays far above 10 %.
+    for row in erows:
+        assert row["required_cache_fraction"] > 0.25
+        assert not row["runs_at_10%_budget"]
+        assert (row["multiscan_fraction"]
+                < row["required_cache_fraction"])
+        assert row["multiscan_fraction"] > 0.10
+
+    mrows = msj_rows()
+    emit("ablation_msj_resident",
+         f"§2.2: MSJ/S3J average resident fraction vs dimension "
+         f"(n={N}, eps={EPSILON})", mrows)
+    # The [BK 01] report: large resident fractions in high dimensions,
+    # driven by the level-0 (plane-crossing) probability 1-(1-eps)^d.
+    assert mrows[-1]["avg_resident_fraction"] > 0.4
+    fractions = [row["avg_resident_fraction"] for row in mrows]
+    assert fractions == sorted(fractions)
+    for row in mrows:
+        assert row["level0_fraction"] == pytest.approx(
+            row["analytic_level0"], abs=0.05)
+
+    grows = ego_rows()
+    emit("ablation_ego_buffer",
+         "EGO re-read factor vs buffer fraction (graceful degradation)",
+         grows)
+    # Identical results at every buffer size...
+    assert len({row["pairs"] for row in grows}) == 1
+    # ...with monotonically growing re-reads as the buffer shrinks.
+    factors = [row["reread_factor"] for row in grows]
+    assert factors == sorted(factors)
+    # Even at 2 % the factor stays moderate (no blow-up).
+    assert factors[-1] < 30
+
+    benchmark(lambda: epskdb_rows())
+
+
+if __name__ == "__main__":
+    emit("ablation_epskdb_cache", "eps-kdB cache", epskdb_rows())
+    emit("ablation_ego_buffer", "EGO buffer sweep", ego_rows())

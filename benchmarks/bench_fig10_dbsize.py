@@ -1,0 +1,77 @@
+"""Experiment F10-left — Figure 10 (left): total time vs database size.
+
+Paper setup: 8-dimensional uniformly distributed points, database sizes
+0.5M–40M; for the two largest sizes "only the results for EGO could be
+obtained in reasonable time".  Scaled-down reproduction (DESIGN.md):
+full algorithm line-up to 8k points, EGO-only beyond, same 10 % buffer
+rule, model seconds from exact operation counts.
+
+Expected shape: nested loop worst and growing quadratically; RSJ <
+Z-Order-RSJ < MuX < EGO at the larger sizes (smallest sizes sit below
+the scale where index joins saturate, mirroring how the paper's factors
+are reported for its large databases).
+"""
+
+import pytest
+
+from repro.data.synthetic import uniform
+
+from _harness import emit, run_all_algorithms, run_ego
+
+FULL_SIZES = [2000, 4000, 8000]
+EGO_ONLY_SIZES = [16000, 32000]
+EPSILON = 0.25
+DIMENSIONS = 8
+
+ALL = ["ego", "mux", "zorder-rsj", "rsj", "nested-loop"]
+
+
+def build_series():
+    rows = []
+    for n in FULL_SIZES:
+        pts = uniform(n, DIMENSIONS, seed=100 + n)
+        times = run_all_algorithms(pts, EPSILON, ALL)
+        rows.append({"n": n, "ego": times["ego"], "mux": times["mux"],
+                     "zorder-rsj": times["zorder-rsj"],
+                     "rsj": times["rsj"],
+                     "nested-loop": times["nested-loop"],
+                     "pairs": times["ego_pairs"]})
+    for n in EGO_ONLY_SIZES:
+        pts = uniform(n, DIMENSIONS, seed=100 + n)
+        times = run_all_algorithms(pts, EPSILON, ["ego"])
+        rows.append({"n": n, "ego": times["ego"], "mux": None,
+                     "zorder-rsj": None, "rsj": None,
+                     "nested-loop": None, "pairs": times["ego_pairs"]})
+    return rows
+
+
+def test_fig10_dbsize(benchmark):
+    rows = build_series()
+    emit("fig10_dbsize",
+         "Figure 10 (left): model seconds vs DB size "
+         "(8-d uniform, eps=%.2f)" % EPSILON,
+         rows, time_columns=["ego", "mux", "zorder-rsj", "rsj",
+                             "nested-loop"])
+    # Shape assertions (who wins at scale, quadratic NLJ growth).
+    biggest = rows[len(FULL_SIZES) - 1]
+    assert biggest["ego"] < biggest["mux"]
+    assert biggest["ego"] < biggest["zorder-rsj"] < biggest["rsj"]
+    assert rows[-1]["ego"] > rows[0]["ego"]
+    nlj = [r["nested-loop"] for r in rows[:len(FULL_SIZES)]]
+    assert nlj[-1] > 2 * nlj[0]
+    # At the largest (EGO-only) size, the calculated nested loop is
+    # already an order of magnitude behind EGO — the paper's headline gap.
+    from repro.analysis.costmodel import nested_loop_estimate
+    big_n = EGO_ONLY_SIZES[-1]
+    nlj_big = nested_loop_estimate(
+        big_n, DIMENSIONS, buffer_records=big_n // 10).total_time_s
+    assert nlj_big > 5 * rows[-1]["ego"]
+
+    pts = uniform(4000, DIMENSIONS, seed=104000)
+    benchmark(lambda: run_ego(pts, EPSILON))
+
+
+if __name__ == "__main__":
+    rows = build_series()
+    emit("fig10_dbsize", "Figure 10 (left)", rows,
+         time_columns=["ego", "mux", "zorder-rsj", "rsj", "nested-loop"])

@@ -1,0 +1,64 @@
+"""Experiment F10-right — Figure 10 (right): total time vs ε.
+
+Paper setup: 8-dimensional uniform data, fixed database size, varying
+distance parameter ε.  "Again, we observe that our novel approach
+clearly outperforms all other techniques for all values of ε.  The
+speedup factors were between 3.2 and 8.6 over MuX and between 4.7 and
+19 over Z-Order-RSJ."
+
+Expected shape: every algorithm's cost grows with ε (more candidates,
+more result pairs); EGO stays lowest across the sweep.
+"""
+
+import pytest
+
+from repro.data.synthetic import uniform
+
+from _harness import emit, run_all_algorithms, run_ego
+
+N = 6000
+DIMENSIONS = 8
+EPSILONS = [0.15, 0.20, 0.25, 0.30]
+
+ALL = ["ego", "mux", "zorder-rsj", "rsj", "nested-loop"]
+
+
+def build_series():
+    pts = uniform(N, DIMENSIONS, seed=210)
+    rows = []
+    for eps in EPSILONS:
+        times = run_all_algorithms(pts, eps, ALL)
+        rows.append({"epsilon": eps, "ego": times["ego"],
+                     "mux": times["mux"],
+                     "zorder-rsj": times["zorder-rsj"],
+                     "rsj": times["rsj"],
+                     "nested-loop": times["nested-loop"],
+                     "pairs": times["ego_pairs"]})
+    return rows
+
+
+def test_fig10_epsilon(benchmark):
+    rows = build_series()
+    emit("fig10_epsilon",
+         "Figure 10 (right): model seconds vs epsilon "
+         f"(8-d uniform, n={N})",
+         rows, time_columns=["ego", "mux", "zorder-rsj", "rsj",
+                             "nested-loop"])
+    # EGO wins for every eps value.
+    for row in rows:
+        assert row["ego"] < row["mux"]
+        assert row["ego"] < row["zorder-rsj"]
+        assert row["ego"] < row["rsj"]
+    # Cost grows with eps for EGO (more result pairs, wider interval).
+    egos = [r["ego"] for r in rows]
+    assert egos[-1] > egos[0]
+    pairs = [r["pairs"] for r in rows]
+    assert pairs == sorted(pairs)
+
+    pts = uniform(N, DIMENSIONS, seed=210)
+    benchmark(lambda: run_ego(pts, EPSILONS[1]))
+
+
+if __name__ == "__main__":
+    emit("fig10_epsilon", "Figure 10 (right)", build_series(),
+         time_columns=ALL)

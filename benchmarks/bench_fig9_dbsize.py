@@ -1,0 +1,71 @@
+"""Experiment F9-left — Figure 9 (left): 16-d CAD data, time vs DB size.
+
+Paper setup: "16-dimensional feature vectors extracted from geometrical
+parts and variants thereof", varying database size.  "EGO was 9 times
+faster than the MuX-Join for the largest database size and 16 times
+faster than the Z-Order-RSJ."
+
+The proprietary CAD data is substituted by the correlated, clustered
+``cad_like`` generator (DESIGN.md substitution table); ε is selected per
+the paper with the [SEKX 98] clustering criterion on the data itself.
+"""
+
+import pytest
+
+from repro.data.synthetic import cad_like, epsilon_for_average_neighbors
+
+from _harness import emit, run_all_algorithms, run_ego
+
+FULL_SIZES = [1500, 3000, 6000]
+EGO_ONLY_SIZES = [12000, 24000]
+DIMENSIONS = 16
+
+ALL = ["ego", "mux", "zorder-rsj", "rsj", "nested-loop"]
+
+
+def choose_epsilon():
+    sample = cad_like(4000, seed=300)
+    return epsilon_for_average_neighbors(sample, target_neighbors=4)
+
+
+def build_series():
+    eps = choose_epsilon()
+    rows = []
+    for n in FULL_SIZES:
+        pts = cad_like(n, seed=300 + n)
+        times = run_all_algorithms(pts, eps, ALL)
+        rows.append({"n": n, "ego": times["ego"], "mux": times["mux"],
+                     "zorder-rsj": times["zorder-rsj"],
+                     "rsj": times["rsj"],
+                     "nested-loop": times["nested-loop"],
+                     "pairs": times["ego_pairs"]})
+    for n in EGO_ONLY_SIZES:
+        pts = cad_like(n, seed=300 + n)
+        times = run_all_algorithms(pts, eps, ["ego"])
+        rows.append({"n": n, "ego": times["ego"], "mux": None,
+                     "zorder-rsj": None, "rsj": None,
+                     "nested-loop": None, "pairs": times["ego_pairs"]})
+    return rows, eps
+
+
+def test_fig9_dbsize(benchmark):
+    rows, eps = build_series()
+    emit("fig9_dbsize",
+         f"Figure 9 (left): model seconds vs DB size "
+         f"(16-d CAD-like, eps={eps:.4f})",
+         rows, time_columns=["ego", "mux", "zorder-rsj", "rsj",
+                             "nested-loop"])
+    biggest = rows[len(FULL_SIZES) - 1]
+    assert biggest["ego"] < biggest["mux"]
+    assert biggest["ego"] < biggest["zorder-rsj"]
+    assert biggest["ego"] < biggest["rsj"]
+    egos = [r["ego"] for r in rows]
+    assert egos == sorted(egos)
+
+    pts = cad_like(FULL_SIZES[1], seed=300 + FULL_SIZES[1])
+    benchmark(lambda: run_ego(pts, eps))
+
+
+if __name__ == "__main__":
+    rows, _ = build_series()
+    emit("fig9_dbsize", "Figure 9 (left)", rows, time_columns=ALL)

@@ -1,0 +1,58 @@
+"""Experiment F9-right — Figure 9 (right): 16-d CAD data, time vs ε.
+
+Paper observation: "the performance of the MuX-Join and the Z-Order-RSJ
+converge for larger ε values while EGO still shows substantially better
+performance for all values of ε.  The improvement factors … varied
+between 4.0 and 10 over the Multipage Index and between 4.5 and 17 over
+Z-Order-RSJ."
+"""
+
+import pytest
+
+from repro.data.synthetic import cad_like, epsilon_for_average_neighbors
+
+from _harness import emit, run_all_algorithms, run_ego
+
+N = 4000
+DIMENSIONS = 16
+
+ALL = ["ego", "mux", "zorder-rsj", "rsj", "nested-loop"]
+
+
+def build_series():
+    pts = cad_like(N, seed=400)
+    base = epsilon_for_average_neighbors(pts, target_neighbors=4)
+    epsilons = [base * f for f in (0.5, 0.75, 1.0, 1.5)]
+    rows = []
+    for eps in epsilons:
+        times = run_all_algorithms(pts, eps, ALL)
+        rows.append({"epsilon": round(eps, 4), "ego": times["ego"],
+                     "mux": times["mux"],
+                     "zorder-rsj": times["zorder-rsj"],
+                     "rsj": times["rsj"],
+                     "nested-loop": times["nested-loop"],
+                     "pairs": times["ego_pairs"]})
+    return rows
+
+
+def test_fig9_epsilon(benchmark):
+    rows = build_series()
+    emit("fig9_epsilon",
+         f"Figure 9 (right): model seconds vs epsilon "
+         f"(16-d CAD-like, n={N})",
+         rows, time_columns=["ego", "mux", "zorder-rsj", "rsj",
+                             "nested-loop"])
+    for row in rows:
+        assert row["ego"] < row["mux"]
+        assert row["ego"] < row["zorder-rsj"]
+    # Result size grows with eps.
+    pairs = [r["pairs"] for r in rows]
+    assert pairs == sorted(pairs)
+
+    pts = cad_like(N, seed=400)
+    benchmark(lambda: run_ego(pts, rows[1]["epsilon"]))
+
+
+if __name__ == "__main__":
+    emit("fig9_epsilon", "Figure 9 (right)", build_series(),
+         time_columns=ALL)

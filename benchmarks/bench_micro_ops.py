@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the core operations (regression guard).
+
+Not a paper experiment — wall-clock micro-benchmarks of the hot paths
+so performance regressions in the core operations are visible:
+
+* EGO sort permutation of a batch,
+* the vectorised leaf distance engine,
+* the recursive sequence self-join,
+* Morton/Hilbert key computation,
+* external-sort run generation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import natural_ordering, pairs_within_vector
+from repro.core.ego_order import ego_sort_order, ego_sorted
+from repro.core.result import JoinResult
+from repro.core.sequence import Sequence
+from repro.core.sequence_join import JoinContext, join_sequences
+from repro.curves.hilbert import hilbert_key_columns
+from repro.curves.zorder import morton_key_columns
+from repro.data.synthetic import uniform
+
+
+@pytest.fixture(scope="module")
+def points_8d():
+    return uniform(20_000, 8, seed=42)
+
+
+def test_micro_ego_sort(benchmark, points_8d):
+    benchmark(lambda: ego_sort_order(points_8d, 0.25))
+
+
+def test_micro_leaf_distance_engine(benchmark, points_8d):
+    a = points_8d[:256]
+    b = points_8d[256:512]
+    order = natural_ordering(8)
+    benchmark(lambda: pairs_within_vector(a, b, 0.25 * 0.25, order))
+
+
+def test_micro_sequence_self_join(benchmark):
+    pts = uniform(4_000, 8, seed=43)
+    eps = 0.2
+    ids, spts = ego_sorted(pts, eps)
+
+    def run():
+        ctx = JoinContext(epsilon=eps,
+                          result=JoinResult(materialize=False))
+        seq = Sequence(ids, spts, eps)
+        join_sequences(seq, seq, ctx)
+        return ctx.result.count
+
+    benchmark(run)
+
+
+def test_micro_morton_keys(benchmark, points_8d):
+    cells = (points_8d * 1024).astype(np.int64)
+    benchmark(lambda: morton_key_columns(cells, 10))
+
+
+def test_micro_hilbert_keys(benchmark, points_8d):
+    cells = (points_8d[:4096] * 1024).astype(np.int64)
+    benchmark(lambda: hilbert_key_columns(cells, 10))

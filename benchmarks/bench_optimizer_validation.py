@@ -1,0 +1,88 @@
+"""Experiment A-optimizer — validating the query-optimizer cost model.
+
+The paper's future work: "the extension of our cost model for the use
+by the query optimizer".  `repro.analysis.optimizer` implements that
+model; this bench validates it the way an optimizer would be judged —
+predicted vs measured unit loads and I/O seconds across a configuration
+sweep, plus a check that `choose_unit_size` picks a configuration whose
+*measured* cost is within a small factor of the measured optimum.
+"""
+
+import pytest
+
+from repro.analysis.optimizer import choose_unit_size, estimate_ego_join
+from repro.core.ego_join import ego_self_join_file
+from repro.data.loader import make_point_file
+from repro.data.synthetic import uniform
+
+from _harness import emit
+
+N = 12000
+DIMENSIONS = 8
+RECORD_BYTES = 72
+
+
+def measured(points, epsilon, unit_bytes, buffer_units):
+    disk, pf = make_point_file(points)
+    try:
+        return ego_self_join_file(pf, epsilon, unit_bytes=unit_bytes,
+                                  buffer_units=buffer_units,
+                                  materialize=False)
+    finally:
+        disk.close()
+
+
+def build_series():
+    pts = uniform(N, DIMENSIONS, seed=1000)
+    budget = int(N * RECORD_BYTES * 0.10)
+    rows = []
+    for eps in (0.15, 0.25, 0.35):
+        for unit_bytes in (budget // 16, budget // 8, budget // 3):
+            buffer_units = max(2, budget // unit_bytes)
+            est = estimate_ego_join(N, DIMENSIONS, eps, unit_bytes,
+                                    buffer_units)
+            run = measured(pts, eps, unit_bytes, buffer_units)
+            meas_loads = run.schedule_stats.total_unit_loads
+            rows.append({
+                "eps": eps,
+                "unit_bytes": unit_bytes,
+                "pred_loads": round(est.predicted_unit_loads),
+                "meas_loads": meas_loads,
+                "pred_io_s": est.predicted_io_time_s,
+                "meas_io_s": run.simulated_io_time_s,
+                "load_error": abs(est.predicted_unit_loads
+                                  - meas_loads) / meas_loads,
+            })
+    return rows, pts, budget
+
+
+def test_optimizer_validation(benchmark):
+    rows, pts, budget = build_series()
+    emit("optimizer_validation",
+         f"Cost-model validation: predicted vs measured "
+         f"(8-d uniform, n={N}, budget=10%)", rows)
+    # Within 30 % on unit loads in every configuration.
+    for row in rows:
+        assert row["load_error"] < 0.30
+        assert row["pred_io_s"] == pytest.approx(row["meas_io_s"],
+                                                 rel=0.5)
+
+    # choose_unit_size picks a configuration whose measured I/O is
+    # within 1.5x of the best measured configuration in its sweep.
+    eps = 0.25
+    best = choose_unit_size(N, DIMENSIONS, eps, budget)
+    chosen = measured(pts, eps, best.unit_bytes, best.buffer_units)
+    sweep = []
+    for unit_bytes in (budget // 16, budget // 8, budget // 3):
+        run = measured(pts, eps, unit_bytes,
+                       max(2, budget // unit_bytes))
+        sweep.append(run.simulated_io_time_s)
+    assert chosen.simulated_io_time_s <= 1.5 * min(sweep)
+
+    benchmark(lambda: estimate_ego_join(N, DIMENSIONS, 0.25,
+                                        budget // 8, 8))
+
+
+if __name__ == "__main__":
+    rows, *_ = build_series()
+    emit("optimizer_validation", "Cost model validation", rows)

@@ -1,0 +1,63 @@
+"""Experiment T-speedup — the Section 5 speedup-factor statements.
+
+The paper's text quantifies its figures: on uniform data "EGO
+outperforms … the MuX-Join by factors between 6 and 9, and the
+Z-Order-RSJ by factors between 13 and 14" (left diagram) and "speedup
+factors … between 3.2 and 8.6 over MuX and between 4.7 and 19 over
+Z-Order-RSJ" (right); on CAD data factors of 4.0–10 over MuX and
+4.5–17 over Z-Order-RSJ.
+
+This bench recomputes the factor table on both workloads at the largest
+size the full line-up runs at, checking the *direction* (EGO fastest,
+factor > 1 everywhere, Z-RSJ factor above the MuX factor on uniform
+data) rather than the absolute values of the authors' testbed.
+"""
+
+import pytest
+
+from repro.data.synthetic import (cad_like, epsilon_for_average_neighbors,
+                                  uniform)
+
+from _harness import emit, run_all_algorithms, run_ego
+
+ALL = ["ego", "mux", "zorder-rsj", "rsj", "nested-loop"]
+
+
+def build_series():
+    rows = []
+    uni = uniform(6000, 8, seed=600)
+    t = run_all_algorithms(uni, 0.25, ALL)
+    rows.append({"workload": "uniform 8-d (n=6000)",
+                 "mux/ego": t["mux"] / t["ego"],
+                 "zorder-rsj/ego": t["zorder-rsj"] / t["ego"],
+                 "rsj/ego": t["rsj"] / t["ego"],
+                 "nested-loop/ego": t["nested-loop"] / t["ego"]})
+    cad = cad_like(6000, seed=601)
+    eps = epsilon_for_average_neighbors(cad, 4)
+    t = run_all_algorithms(cad, eps, ALL)
+    rows.append({"workload": "CAD-like 16-d (n=6000)",
+                 "mux/ego": t["mux"] / t["ego"],
+                 "zorder-rsj/ego": t["zorder-rsj"] / t["ego"],
+                 "rsj/ego": t["rsj"] / t["ego"],
+                 "nested-loop/ego": t["nested-loop"] / t["ego"]})
+    return rows
+
+
+def test_speedup_table(benchmark):
+    rows = build_series()
+    emit("speedup_table",
+         "Section 5 speedup factors (competitor time / EGO time)", rows)
+    for row in rows:
+        assert row["mux/ego"] > 1.0
+        assert row["zorder-rsj/ego"] > 1.0
+        assert row["rsj/ego"] > 1.0
+        assert row["nested-loop/ego"] > 1.0
+        # Z-Order-RSJ trails MuX, as in every paper figure.
+        assert row["zorder-rsj/ego"] > row["mux/ego"]
+
+    pts = uniform(3000, 8, seed=600)
+    benchmark(lambda: run_ego(pts, 0.25))
+
+
+if __name__ == "__main__":
+    emit("speedup_table", "Speedup factors", build_series())

@@ -1,0 +1,6 @@
+"""Benchmark configuration: make the harness importable and keep output."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

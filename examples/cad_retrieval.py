@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Similar-part retrieval on CAD-like feature vectors.
+
+The paper's real-world workload is "a CAD database with 16-dimensional
+feature vectors extracted from geometrical parts and variants thereof".
+This example builds the synthetic stand-in for that data (correlated
+dimensions, decaying feature spectrum, parts-and-variants cluster
+structure — see DESIGN.md), then uses the similarity join to find all
+near-duplicate part pairs, the classic variant-detection task.
+
+It also demonstrates the §4.2 optimisation on this data: because the
+dimensions are correlated, ordering the distance test by distinguishing
+potential aborts earlier than the natural order.
+
+Run:  python examples/cad_retrieval.py
+"""
+
+import numpy as np
+
+from repro import (cad_like, ego_self_join,
+                   epsilon_for_average_neighbors)
+from repro.apps.neighborhood import NeighborhoodGraph
+from repro.storage.stats import CPUCounters
+
+
+def main() -> None:
+    n = 10_000
+    features = cad_like(n, dimensions=16, parts=120, seed=2026)
+    epsilon = epsilon_for_average_neighbors(features, target_neighbors=5)
+    print(f"CAD-like workload: {n:,} parts, 16-d features, "
+          f"eps={epsilon:.4f}")
+
+    # Find every pair of similar parts, counting the CPU work with the
+    # §4.2 dimension ordering enabled and disabled.
+    ordered = CPUCounters()
+    join = ego_self_join(features, epsilon, cpu=ordered)
+    natural = CPUCounters()
+    ego_self_join(features, epsilon, order_dimensions=False, cpu=natural)
+
+    print(f"similar part pairs: {join.count:,}")
+    o = ordered.dimension_evaluations / max(1, ordered.distance_calculations)
+    v = natural.dimension_evaluations / max(1, natural.distance_calculations)
+    print(f"distance-test dimensions evaluated per call: "
+          f"{o:.2f} ordered vs {v:.2f} natural "
+          f"({1 - o / v:.1%} fewer evaluations)")
+
+    # Variant groups: connected components of the similarity graph.
+    graph = NeighborhoodGraph.from_pairs(n, epsilon, *join.pairs())
+    labels = graph.connected_components()
+    group_sizes = np.bincount(labels)
+    groups = group_sizes[group_sizes > 1]
+    print(f"\nvariant analysis:")
+    print(f"  parts with at least one variant: "
+          f"{int((graph.degree() > 0).sum()):,}")
+    print(f"  variant groups (≥2 parts)      : {len(groups):,}")
+    if len(groups):
+        print(f"  largest variant family         : {int(groups.max()):,} "
+              f"parts")
+
+    # Retrieval for one query part: its direct variants, ranked.
+    query = int(np.argmax(graph.degree()))
+    neighbors = graph.neighbors(query)
+    dists = np.linalg.norm(features[neighbors] - features[query], axis=1)
+    order = np.argsort(dists)
+    print(f"\nmost-connected part #{query} has {len(neighbors)} variants;"
+          f" closest three:")
+    for rank in order[:3]:
+        print(f"  part #{int(neighbors[rank]):>6d}  "
+              f"distance {dists[rank]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

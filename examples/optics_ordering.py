@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""OPTICS cluster ordering from one similarity join.
+
+OPTICS [ABKS 99] is on the paper's list of algorithms that run on top
+of the similarity join: within the generating distance ε it only needs
+every point's ε-neighbours *with distances* — exactly what a
+distance-collecting EGO self-join returns in one pass.
+
+The example builds nested density structure (a dense core inside a
+loose cluster, plus a second cluster and noise), computes the OPTICS
+ordering, renders the reachability plot as ASCII art, and extracts flat
+DBSCAN-equivalent clusterings at two thresholds from the *same*
+ordering — the whole point of OPTICS.
+
+Run:  python examples/optics_ordering.py
+"""
+
+import numpy as np
+
+from repro import ego_self_join
+from repro.apps.optics import optics
+from repro.core.result import JoinResult
+
+
+def ascii_plot(values, height=12, width=100):
+    """Render a reachability plot with unicode block characters."""
+    finite = values[np.isfinite(values)]
+    top = float(finite.max()) if len(finite) else 1.0
+    step = max(1, len(values) // width)
+    columns = [values[i:i + step] for i in range(0, len(values), step)]
+    heights = []
+    for col in columns:
+        fin = col[np.isfinite(col)]
+        v = float(fin.max()) if len(fin) else top
+        heights.append(min(height, max(1, round(v / top * height))))
+    lines = []
+    for row in range(height, 0, -1):
+        lines.append("".join("█" if h >= row else " " for h in heights))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    loose = rng.normal([0.3, 0.3], 0.05, (500, 2))
+    dense_core = rng.normal([0.3, 0.3], 0.008, (300, 2))
+    other = rng.normal([0.75, 0.7], 0.02, (400, 2))
+    noise = rng.random((80, 2))
+    pts = np.vstack([loose, dense_core, other, noise])
+
+    eps, min_pts = 0.15, 10
+    join = JoinResult(collect_distances=True)
+    ego_self_join(pts, eps, result=join)
+    print(f"{len(pts):,} points, eps={eps}, min_pts={min_pts}; "
+          f"join pairs: {join.count:,}")
+
+    result = optics(pts, eps, min_pts, join_result=join)
+    plot = result.reachability_plot()
+    print("\nreachability plot (valleys = clusters):\n")
+    print(ascii_plot(np.where(np.isfinite(plot), plot, np.nan)))
+
+    for eps_prime in (0.05, 0.015):
+        labels = result.extract_dbscan(eps_prime)
+        k = len(set(labels[labels >= 0].tolist()))
+        noise_n = int((labels == -1).sum())
+        print(f"\nextract_dbscan(eps'={eps_prime}): {k} clusters, "
+              f"{noise_n} noise points")
+        sizes = sorted(np.bincount(labels[labels >= 0]).tolist(),
+                       reverse=True)
+        print(f"  sizes: {sizes[:6]}")
+
+    print("\nAt eps'=0.05 both blobs appear; at eps'=0.015 only the "
+          "dense core and the tight second cluster survive — one "
+          "ordering, every density level.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Time-series motif discovery via the similarity join ([AFS 93] pipeline).
+
+The paper's introduction motivates the similarity join with feature
+transformations; the original instance is Agrawal, Faloutsos & Swami's
+sequence matching: map every series to its leading DFT coefficients
+(which *lower-bound* the true Euclidean distance, by Parseval), join in
+feature space, refine the few candidates exactly.
+
+This example plants seasonal motifs in noisy series, runs the pipeline,
+and verifies that (a) the filter is lossless — no truly-similar pair is
+missed — and (b) the join groups series by their hidden motif.
+
+Run:  python examples/timeseries_motifs.py
+"""
+
+import numpy as np
+
+from repro import ego_self_join
+from repro.apps.neighborhood import NeighborhoodGraph
+from repro.data.timeseries import (dft_features, normalize_series,
+                                   seasonal_series)
+
+
+def main() -> None:
+    n, length, motifs = 4_000, 128, 12
+    series, assignment = seasonal_series(n, length, motifs=motifs,
+                                         noise_std=0.25, seed=11)
+    epsilon = 6.0   # similarity threshold on normalised series
+
+    features = dft_features(series, coefficients=6)
+    print(f"{n:,} series of length {length}, {motifs} hidden motifs")
+    print(f"feature space: {features.shape[1]}-d "
+          f"(6 complex DFT coefficients)")
+
+    # Filter step: join in feature space.  Feature distance
+    # lower-bounds series distance, so every true pair is kept.
+    candidates = ego_self_join(features, epsilon)
+    a, b = candidates.pairs()
+    print(f"candidate pairs from the feature join : {candidates.count:,} "
+          f"({candidates.count / (n * (n - 1) / 2):.2%} of all pairs)")
+
+    # Refinement: exact distance on the normalised series.
+    norm = normalize_series(series)
+    exact = np.linalg.norm(norm[a] - norm[b], axis=1)
+    keep = exact <= epsilon
+    a, b = a[keep], b[keep]
+    print(f"true pairs after refinement           : {len(a):,} "
+          f"(filter precision {keep.mean():.1%})")
+
+    # Lossless check on a sample: no true pair outside the candidates.
+    rng = np.random.default_rng(0)
+    sample = rng.choice(n, size=300, replace=False)
+    cand_set = set(zip(np.minimum(a, b).tolist(),
+                       np.maximum(a, b).tolist()))
+    missed = 0
+    for i in sample:
+        d = np.linalg.norm(norm[sample] - norm[i], axis=1)
+        for j_idx in np.nonzero(d <= epsilon)[0]:
+            j = sample[j_idx]
+            if i < j and (int(i), int(j)) not in cand_set:
+                missed += 1
+    print(f"missed true pairs in a 300-series sample: {missed} "
+          f"(the DFT filter is lossless)")
+
+    # Do the joined groups recover the planted motifs?
+    graph = NeighborhoodGraph.from_pairs(n, epsilon, a, b)
+    labels = graph.connected_components()
+    agree = 0
+    for comp in np.unique(labels):
+        members = np.nonzero(labels == comp)[0]
+        if len(members) < 2:
+            continue
+        motif_ids, counts = np.unique(assignment[members],
+                                      return_counts=True)
+        agree += counts.max()
+    clustered = int((np.bincount(labels) > 1).sum())
+    print(f"\nmotif recovery: {clustered} similarity groups; "
+          f"{agree / n:.1%} of series sit in a group dominated by "
+          f"their own motif")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Cost model, calibration and experiment reporting."""
+
+from .calibrate import measure_avg_dimension_evals, measure_ordering_gain
+from .optimizer import (EgoCostEstimate, backward_fraction, calibrate_cpu,
+                        choose_unit_size, estimate_ego_join,
+                        interval_fraction)
+from .costmodel import (CPUModel, DEFAULT_CPU_MODEL, NestedLoopEstimate,
+                        ego_total_time, join_total_time,
+                        nested_loop_estimate)
+from .reporting import (format_table, format_value, series_markdown,
+                        speedup_summary)
+from .selectivity import grid_selectivity, sample_selectivity
+
+__all__ = [
+    "CPUModel",
+    "EgoCostEstimate",
+    "backward_fraction",
+    "calibrate_cpu",
+    "choose_unit_size",
+    "estimate_ego_join",
+    "interval_fraction",
+    "grid_selectivity",
+    "sample_selectivity",
+    "DEFAULT_CPU_MODEL",
+    "NestedLoopEstimate",
+    "ego_total_time",
+    "format_table",
+    "format_value",
+    "join_total_time",
+    "measure_avg_dimension_evals",
+    "measure_ordering_gain",
+    "nested_loop_estimate",
+    "series_markdown",
+    "speedup_summary",
+]

@@ -1,0 +1,65 @@
+"""Calibration helpers for the cost model.
+
+The only data-dependent quantity in the closed-form nested-loop estimate
+is how early the Figure-7 distance test aborts on average; this module
+measures it on a sample, and offers a paired measurement of the effect
+of the Section 4.2 dimension ordering (used by the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..core.distance import natural_ordering, pairs_within_vector
+from ..core.ego_order import validate_epsilon
+from ..storage.stats import CPUCounters
+
+
+def measure_avg_dimension_evals(points: np.ndarray, epsilon: float,
+                                sample: int = 512,
+                                seed: Union[int, None] = 0) -> float:
+    """Mean early-abort length of the distance test on random point pairs.
+
+    Samples up to ``sample`` points, evaluates all pairs among them with
+    the natural dimension order, and returns dimension evaluations per
+    distance call — the ``avg_dimension_evals`` input of
+    :func:`repro.analysis.costmodel.nested_loop_estimate`.
+    """
+    eps = validate_epsilon(epsilon)
+    pts = np.asarray(points, dtype=np.float64)
+    if len(pts) < 2:
+        raise ValueError("need at least two points")
+    rng = np.random.default_rng(seed)
+    if len(pts) > sample:
+        pts = pts[rng.choice(len(pts), size=sample, replace=False)]
+    cpu = CPUCounters()
+    order = natural_ordering(pts.shape[1])
+    pairs_within_vector(pts, pts, eps * eps, order, counters=cpu,
+                        upper_triangle=True)
+    if cpu.distance_calculations == 0:
+        return float(pts.shape[1])
+    return cpu.dimension_evaluations / cpu.distance_calculations
+
+
+def measure_ordering_gain(points_a: np.ndarray, points_b: np.ndarray,
+                          epsilon: float, order: np.ndarray) -> float:
+    """Dimension evaluations saved by a custom order vs the natural one.
+
+    Returns the ratio ``evals(order) / evals(natural)``; below 1 means
+    the ordering aborts earlier, which is what Section 4.2 predicts for
+    correlated data.
+    """
+    eps = validate_epsilon(epsilon)
+    a = np.asarray(points_a, dtype=np.float64)
+    b = np.asarray(points_b, dtype=np.float64)
+    natural = CPUCounters()
+    custom = CPUCounters()
+    pairs_within_vector(a, b, eps * eps, natural_ordering(a.shape[1]),
+                        counters=natural)
+    pairs_within_vector(a, b, eps * eps, np.asarray(order, dtype=np.intp),
+                        counters=custom)
+    if natural.dimension_evaluations == 0:
+        return 1.0
+    return custom.dimension_evaluations / natural.dimension_evaluations

@@ -1,0 +1,210 @@
+"""Predictive EGO cost model for a query optimizer.
+
+The paper's conclusion names "the extension of our cost model for the
+use by the query optimizer" as future work.  This module provides that
+piece: closed-form predictions of the external EGO self-join's I/O
+behaviour — unit counts, ε-interval width, gallop/crabstep regime,
+expected unit loads and I/O seconds — from dataset statistics alone,
+plus a sampling-calibrated CPU estimate, and an optimizer that picks
+the I/O unit size minimising predicted cost under a buffer budget.
+
+The I/O model (uniform-data assumptions, documented per formula):
+
+* the ε-interval of a point covers the points within ±ε in dimension 0,
+  i.e. a fraction ``min(1, 2ε)`` of a unit-hypercube database — in
+  units: ``W ≈ f·U + 1``;
+* if ``W`` fits the buffer, the schedule gallops: every unit is loaded
+  exactly once (``U`` loads);
+* otherwise crabstep loads each unit once as a pin and re-reads, per
+  window of ``B − 1`` pinned units, the ``W`` preceding units:
+  ``loads ≈ U + U/(B−1) · W``.
+
+CPU cost cannot be derived from uniformity alone (it depends on how the
+recursion's pruning interacts with the data); it is calibrated by
+running the in-memory join on a small sample and scaling the measured
+distance-calculation density quadratically — a standard optimizer
+technique (sample-based selectivity estimation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.ego_join import ego_self_join
+from ..core.result import JoinResult
+from ..storage.disk import DiskModel
+from ..storage.records import record_size
+from ..storage.stats import CPUCounters
+from .costmodel import CPUModel, DEFAULT_CPU_MODEL
+
+
+@dataclass
+class EgoCostEstimate:
+    """Predicted cost of one external EGO self-join configuration."""
+
+    n: int
+    dimensions: int
+    epsilon: float
+    unit_bytes: int
+    buffer_units: int
+    units: int
+    interval_units: float
+    gallop: bool
+    predicted_unit_loads: float
+    sort_runs: int
+    sort_passes: int
+    predicted_io_time_s: float
+    predicted_cpu_time_s: Optional[float] = None
+
+    @property
+    def predicted_total_s(self) -> float:
+        """Predicted I/O plus CPU seconds (CPU 0 when uncalibrated)."""
+        return self.predicted_io_time_s + (self.predicted_cpu_time_s or 0.0)
+
+
+def interval_fraction(epsilon: float, data_extent: float = 1.0) -> float:
+    """Fraction of a uniform database inside one ε-interval.
+
+    The interval spans ±ε in the dominating dimension 0, clipped to the
+    data extent.
+    """
+    if data_extent <= 0:
+        raise ValueError("data_extent must be positive")
+    return min(1.0, 2.0 * epsilon / data_extent)
+
+
+def backward_fraction(epsilon: float, data_extent: float = 1.0) -> float:
+    """Fraction of the database the schedule must look *back* over.
+
+    The scheduler forms each unit pair when the later unit loads, so
+    its working window reaches only ε backwards in dimension 0 — half
+    the full ε-interval.
+    """
+    if data_extent <= 0:
+        raise ValueError("data_extent must be positive")
+    return min(1.0, epsilon / data_extent)
+
+
+def estimate_ego_join(n: int, dimensions: int, epsilon: float,
+                      unit_bytes: int, buffer_units: int,
+                      sort_memory_records: Optional[int] = None,
+                      disk_model: Optional[DiskModel] = None,
+                      cpu_model: CPUModel = DEFAULT_CPU_MODEL,
+                      sort_fanin: int = 16,
+                      data_extent: float = 1.0) -> EgoCostEstimate:
+    """Predict the cost of an external EGO self-join configuration."""
+    if n < 0 or dimensions <= 0 or epsilon <= 0:
+        raise ValueError("invalid dataset parameters")
+    if unit_bytes <= 0 or buffer_units < 2:
+        raise ValueError("invalid unit/buffer parameters")
+    disk_model = disk_model if disk_model is not None else DiskModel()
+    rec = record_size(dimensions)
+    db_bytes = n * rec
+    units = max(1, math.ceil(db_bytes / unit_bytes)) if n else 0
+    per_unit = max(1, unit_bytes // rec)
+    if sort_memory_records is None:
+        sort_memory_records = max(2, buffer_units * per_unit)
+
+    # The schedule's working window is one-sided: pairs are formed when
+    # the later unit loads, so only the ε *backward* reach matters.
+    interval_units = backward_fraction(epsilon, data_extent) * units + 1
+
+    gallop = interval_units <= buffer_units
+    if gallop or units == 0:
+        loads = float(units)
+        phases = 0.0
+    else:
+        window = max(1, buffer_units - 1)
+        phases = units / window
+        loads = units + phases * interval_units
+
+    # Sorting: run generation reads+writes the data once; each merge
+    # pass reads and writes it again.
+    sort_runs = max(1, math.ceil(n / sort_memory_records)) if n else 0
+    sort_passes = 1
+    runs = sort_runs
+    while runs > sort_fanin:
+        runs = math.ceil(runs / sort_fanin)
+        sort_passes += 1
+    sort_bytes = 2 * db_bytes * (1 + sort_passes)
+    # Merge seeks: each source-buffer refill is a random access.
+    fanin = min(sort_fanin, max(2, sort_runs))
+    refill_bytes = max(rec, (sort_memory_records // (fanin + 1)) * rec)
+    sort_seeks = sort_passes * math.ceil(db_bytes / refill_bytes) if n else 0
+
+    # Join I/O: unit loads stream in long consecutive runs (gallop scan,
+    # pin groups, reload sweeps), so they cost transfer time plus a few
+    # repositionings per crabstep phase.
+    join_seeks = 1 + 2 * phases
+    io_time = (loads * unit_bytes / disk_model.transfer_rate_bytes
+               + join_seeks * disk_model.avg_access_time_s
+               + sort_bytes / disk_model.transfer_rate_bytes
+               + sort_seeks * disk_model.avg_access_time_s)
+    return EgoCostEstimate(
+        n=n, dimensions=dimensions, epsilon=epsilon,
+        unit_bytes=unit_bytes, buffer_units=buffer_units, units=units,
+        interval_units=interval_units, gallop=gallop,
+        predicted_unit_loads=loads, sort_runs=sort_runs,
+        sort_passes=sort_passes, predicted_io_time_s=io_time)
+
+
+def calibrate_cpu(points_sample: np.ndarray, epsilon: float, n_target: int,
+                  minlen: int = 32,
+                  cpu_model: CPUModel = DEFAULT_CPU_MODEL) -> float:
+    """Sample-calibrated CPU seconds for a join of ``n_target`` points.
+
+    Runs the in-memory join on the sample, measures the distance-work
+    density per point pair, and scales it by ``(n_target / n_sample)²``
+    — candidate counts are quadratic in n at fixed ε and distribution.
+    """
+    pts = np.asarray(points_sample, dtype=np.float64)
+    n_sample = len(pts)
+    if n_sample < 2:
+        raise ValueError("need at least two sample points")
+    cpu = CPUCounters()
+    ego_self_join(pts, epsilon, minlen=minlen, cpu=cpu,
+                  result=JoinResult(materialize=False))
+    sample_cpu_s = cpu_model.cpu_time(cpu, pts.shape[1])
+    return sample_cpu_s * (n_target / n_sample) ** 2
+
+
+def choose_unit_size(n: int, dimensions: int, epsilon: float,
+                     budget_bytes: int,
+                     candidates: Optional[list] = None,
+                     disk_model: Optional[DiskModel] = None
+                     ) -> EgoCostEstimate:
+    """Pick the I/O unit size with the lowest predicted I/O cost.
+
+    Sweeps power-of-two unit sizes that leave at least two frames in
+    the buffer (``candidates`` overrides the sweep) and returns the
+    cheapest estimate — the §4.1 unit-size knob, automated.
+    """
+    if budget_bytes <= 0:
+        raise ValueError("budget_bytes must be positive")
+    rec = record_size(dimensions)
+    if candidates is None:
+        candidates = []
+        size = max(rec, 1024)
+        while size * 2 <= budget_bytes:
+            candidates.append(size)
+            size *= 2
+        if not candidates:
+            candidates = [max(rec, budget_bytes // 2)]
+    best: Optional[EgoCostEstimate] = None
+    for unit_bytes in candidates:
+        buffer_units = max(2, budget_bytes // unit_bytes)
+        if buffer_units < 2:
+            continue
+        est = estimate_ego_join(n, dimensions, epsilon, unit_bytes,
+                                buffer_units, disk_model=disk_model)
+        if best is None or est.predicted_io_time_s \
+                < best.predicted_io_time_s:
+            best = est
+    if best is None:
+        raise ValueError(
+            f"no unit size fits a budget of {budget_bytes} bytes")
+    return best

@@ -1,0 +1,92 @@
+"""Experiment reporting: aligned text tables and speedup summaries.
+
+The benchmark harness prints, for every figure of the paper, the same
+series the figure plots (total time per algorithm over the swept
+parameter) plus the speedup factors the paper quotes in its text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_value(value: Cell, precision: int = 4) -> str:
+    """Human-readable cell rendering (compact floats, '-' for missing)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.{precision - 1}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Cell]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render dict rows as an aligned, pipe-separated text table."""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [[format_value(row.get(col)) for col in columns]
+                for row in rows]
+    widths = [max([len(col)] + [len(r[i]) for r in rendered])
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.rjust(w)
+                                for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def speedup_summary(times: Mapping[str, Sequence[float]],
+                    reference: str) -> Dict[str, str]:
+    """Min–max speedup of ``reference`` over every other algorithm.
+
+    ``times`` maps algorithm name to its time series (same sweep order);
+    the result maps each competitor to a "``lo``x – ``hi``x" string,
+    mirroring statements like "EGO outperforms … the MuX-Join by factors
+    between 6 and 9".
+    """
+    if reference not in times:
+        raise KeyError(f"reference {reference!r} not in series")
+    ref = times[reference]
+    out: Dict[str, str] = {}
+    for name, series in times.items():
+        if name == reference:
+            continue
+        factors = [s / r for s, r in zip(series, ref)
+                   if r > 0 and s is not None]
+        if not factors:
+            out[name] = "-"
+            continue
+        lo, hi = min(factors), max(factors)
+        out[name] = f"{lo:.1f}x - {hi:.1f}x"
+    return out
+
+
+def series_markdown(rows: Sequence[Mapping[str, Cell]],
+                    columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-markdown table (for EXPERIMENTS.md)."""
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    lines = ["| " + " | ".join(columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(format_value(row.get(c))
+                                       for c in columns) + " |")
+    return "\n".join(lines)

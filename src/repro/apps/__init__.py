@@ -1,0 +1,26 @@
+"""Applications built on top of the similarity join."""
+
+from .colocation import ColocationPattern, colocation_patterns
+from .dbscan import NOISE, DBSCANResult, dbscan, dbscan_from_graph
+from .knn import KNNGraph, knn_graph
+from .neighborhood import NeighborhoodGraph, UnionFind, epsilon_graph
+from .optics import OPTICSResult, optics
+from .outliers import OutlierResult, distance_based_outliers
+
+__all__ = [
+    "ColocationPattern",
+    "DBSCANResult",
+    "NOISE",
+    "KNNGraph",
+    "NeighborhoodGraph",
+    "OPTICSResult",
+    "OutlierResult",
+    "UnionFind",
+    "colocation_patterns",
+    "dbscan",
+    "dbscan_from_graph",
+    "distance_based_outliers",
+    "epsilon_graph",
+    "knn_graph",
+    "optics",
+]

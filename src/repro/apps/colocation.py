@@ -1,0 +1,103 @@
+"""Spatial co-location patterns on top of the similarity join.
+
+Spatial association rules [KH 95] are among the algorithms the paper
+lists as join-based: "is_near" relationships between labeled spatial
+objects are exactly the pairs of a similarity self-join, and mining
+which label pairs co-occur within ε more often than expected is a
+counting pass over the join result.
+
+The module finds **co-location pairs**: label pairs (A, B) whose
+*participation ratio* — the fraction of A-objects with a B-neighbour
+within ε, and vice versa — clears a threshold (the standard
+participation-index formulation of co-location mining).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.ego_join import ego_self_join
+from ..core.result import JoinResult
+
+
+@dataclass
+class ColocationPattern:
+    """One discovered co-location pair."""
+
+    label_a: int
+    label_b: int
+    participation_a: float
+    participation_b: float
+    pair_count: int
+
+    @property
+    def participation_index(self) -> float:
+        """The pattern's strength: min of the two participation ratios."""
+        return min(self.participation_a, self.participation_b)
+
+
+def colocation_patterns(points: np.ndarray, labels: Sequence[int],
+                        epsilon: float, min_participation: float = 0.5,
+                        join_result: Optional[JoinResult] = None,
+                        metric=None) -> List[ColocationPattern]:
+    """Mine co-location label pairs via one similarity self-join.
+
+    Parameters
+    ----------
+    labels:
+        Integer label per point (feature type of the spatial object).
+    min_participation:
+        Minimum participation index for a pattern to be reported.
+
+    Returns patterns sorted by decreasing participation index; both
+    within-label (A, A) and cross-label (A, B) patterns are considered.
+    """
+    if not 0.0 < min_participation <= 1.0:
+        raise ValueError(
+            f"min_participation must be in (0, 1], got {min_participation}")
+    pts = np.asarray(points, dtype=np.float64)
+    lab = np.asarray(labels, dtype=np.int64)
+    if len(lab) != len(pts):
+        raise ValueError(
+            f"labels ({len(lab)}) and points ({len(pts)}) differ in length")
+    if join_result is None:
+        join_result = ego_self_join(pts, epsilon, metric=metric)
+    a, b = join_result.pairs()
+
+    label_values, label_index = np.unique(lab, return_inverse=True)
+    k = len(label_values)
+    label_counts = np.bincount(label_index, minlength=k)
+
+    # participates[i, l]: point i has an eps-neighbour of label l.
+    participates = np.zeros((len(pts), k), dtype=bool)
+    if len(a):
+        participates[a, label_index[b]] = True
+        participates[b, label_index[a]] = True
+    pair_counts = np.zeros((k, k), dtype=np.int64)
+    if len(a):
+        la, lb = label_index[a], label_index[b]
+        lo = np.minimum(la, lb)
+        hi = np.maximum(la, lb)
+        np.add.at(pair_counts, (lo, hi), 1)
+
+    patterns: List[ColocationPattern] = []
+    for i in range(k):
+        for j in range(i, k):
+            count = int(pair_counts[i, j])
+            if count == 0:
+                continue
+            part_i = participates[label_index == i, j].mean()
+            part_j = participates[label_index == j, i].mean()
+            pattern = ColocationPattern(
+                label_a=int(label_values[i]),
+                label_b=int(label_values[j]),
+                participation_a=float(part_i),
+                participation_b=float(part_j),
+                pair_count=count)
+            if pattern.participation_index >= min_participation:
+                patterns.append(pattern)
+    patterns.sort(key=lambda p: p.participation_index, reverse=True)
+    return patterns

@@ -1,0 +1,101 @@
+"""DBSCAN on top of a similarity join (cf. [BBBK 00], [SEKX 98]).
+
+The paper's flagship application: both DBSCAN subtasks — core-point
+determination and cluster collection — are computed from a *single*
+similarity self-join instead of one range query per point, "yielding
+exactly the same result" with speed-ups of up to 54× reported in
+[BBBK 00].
+
+Semantics follow the original definition: a point is a *core point* if
+its ε-neighbourhood (which includes the point itself) contains at least
+``min_pts`` points; clusters are the transitive closure of core points
+within ε of each other; non-core points within ε of a core point are
+*border points* of (one of) its cluster(s); the rest is noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.ego_join import ego_self_join
+from ..core.result import JoinResult
+from .neighborhood import NeighborhoodGraph, UnionFind
+
+NOISE = -1
+
+
+@dataclass
+class DBSCANResult:
+    """Cluster labels and point roles of one DBSCAN run."""
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters found (noise excluded)."""
+        labels = self.labels[self.labels != NOISE]
+        return int(len(np.unique(labels)))
+
+    @property
+    def noise_mask(self) -> np.ndarray:
+        """Boolean mask of noise points."""
+        return self.labels == NOISE
+
+    @property
+    def border_mask(self) -> np.ndarray:
+        """Boolean mask of border points (clustered but not core)."""
+        return (self.labels != NOISE) & ~self.core_mask
+
+
+def dbscan_from_graph(graph: NeighborhoodGraph,
+                      min_pts: int) -> DBSCANResult:
+    """DBSCAN given a precomputed ε-neighborhood graph."""
+    if min_pts < 1:
+        raise ValueError("min_pts must be at least 1")
+    n = graph.n
+    # |N_eps(p)| includes p itself, hence the +1.
+    core = (graph.degree() + 1) >= min_pts
+
+    # Cluster collection: union core points that are ε-neighbours.
+    uf = UnionFind(n)
+    for i in np.nonzero(core)[0]:
+        for j in graph.neighbors(int(i)):
+            if core[j]:
+                uf.union(int(i), int(j))
+
+    labels = np.full(n, NOISE, dtype=np.int64)
+    core_idx = np.nonzero(core)[0]
+    if len(core_idx):
+        roots = np.array([uf.find(int(i)) for i in core_idx])
+        _uniq, compact = np.unique(roots, return_inverse=True)
+        labels[core_idx] = compact
+        # Border points adopt the cluster of an arbitrary core neighbour
+        # (DBSCAN's well-known tie: border points on two clusters'
+        # frontiers get one of them).
+        for i in np.nonzero(~core)[0]:
+            for j in graph.neighbors(int(i)):
+                if core[j]:
+                    labels[i] = labels[j]
+                    break
+    return DBSCANResult(labels=labels, core_mask=core)
+
+
+def dbscan(points: np.ndarray, epsilon: float, min_pts: int,
+           join_result: Optional[JoinResult] = None,
+           metric=None) -> DBSCANResult:
+    """DBSCAN via one EGO similarity self-join.
+
+    ``join_result`` may supply precomputed join pairs (e.g. from the
+    external pipeline); otherwise an in-memory EGO join is run, using
+    ``metric`` (default Euclidean).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if join_result is None:
+        join_result = ego_self_join(pts, epsilon, metric=metric)
+    a, b = join_result.pairs()
+    graph = NeighborhoodGraph.from_pairs(len(pts), epsilon, a, b)
+    return dbscan_from_graph(graph, min_pts)

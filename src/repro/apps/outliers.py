@@ -1,0 +1,70 @@
+"""Distance-based outlier detection on top of a similarity join.
+
+Implements the DB(p, D) outliers of Knorr & Ng [KN 98], one of the
+join-based data-mining algorithms the paper lists: an object ``o`` is a
+*DB(p, D) outlier* if at most a fraction ``1 − p`` of the data set lies
+within distance ``D`` of ``o`` (equivalently: at least a fraction ``p``
+lies farther than ``D``).  The neighbour counts are exactly the degrees
+of a similarity self-join with ε = D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.ego_join import ego_self_join
+from ..core.result import JoinResult
+
+
+@dataclass
+class OutlierResult:
+    """Outcome of DB(p, D) outlier detection."""
+
+    outlier_mask: np.ndarray
+    neighbor_counts: np.ndarray
+    threshold: int
+
+    @property
+    def outlier_ids(self) -> np.ndarray:
+        """Row indices of the detected outliers."""
+        return np.nonzero(self.outlier_mask)[0]
+
+    @property
+    def num_outliers(self) -> int:
+        """Number of detected outliers."""
+        return int(self.outlier_mask.sum())
+
+
+def distance_based_outliers(points: np.ndarray, distance: float,
+                            fraction: float = 0.95,
+                            join_result: Optional[JoinResult] = None,
+                            metric=None) -> OutlierResult:
+    """DB(p, D) outliers of a point set via one similarity self-join.
+
+    Parameters
+    ----------
+    distance:
+        The distance ``D`` of the definition (the join's ε).
+    fraction:
+        The fraction ``p``: a point is an outlier when fewer than
+        ``(1 − p) · n`` *other* points lie within ``D``.
+    join_result:
+        Optional precomputed self-join pairs at ε = ``distance``.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    pts = np.asarray(points, dtype=np.float64)
+    n = len(pts)
+    if join_result is None:
+        join_result = ego_self_join(pts, distance, metric=metric)
+    a, b = join_result.pairs()
+    counts = (np.bincount(a, minlength=n)
+              + np.bincount(b, minlength=n)) if len(a) else np.zeros(
+                  n, dtype=np.int64)
+    threshold = int(np.floor((1.0 - fraction) * n))
+    mask = counts <= threshold
+    return OutlierResult(outlier_mask=mask, neighbor_counts=counts,
+                         threshold=threshold)

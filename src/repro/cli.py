@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the typical workflow on point files:
+
+* ``generate`` — write a synthetic workload (uniform / clusters / cad)
+  to a point file;
+* ``info`` — show a point file's header and basic statistics;
+* ``join`` — external EGO similarity self-join of a point file;
+* ``join-two`` — external EGO R ⋈ S join of two point files;
+* ``dbscan`` — density clustering via one similarity join;
+* ``outliers`` — DB(p, D) distance-based outlier detection;
+* ``knn`` — exact k-nearest-neighbour graph via iterated joins;
+* ``optics`` — OPTICS cluster ordering via one join;
+* ``estimate`` — the query-optimizer cost model (add ``--file`` to
+  also predict the result cardinality from a data sample).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.optimizer import choose_unit_size, estimate_ego_join
+from .apps.dbscan import dbscan
+from .apps.outliers import distance_based_outliers
+from .core.ego_join import ego_join_files, ego_self_join_file
+from .data.loader import load_points, save_points
+from .data.synthetic import cad_like, gaussian_clusters, uniform
+from .storage.disk import SimulatedDisk
+from .storage.pagefile import PointFile
+from .storage.records import record_size
+
+
+def _budget_geometry(n: int, dimensions: int, fraction: float):
+    rec = record_size(dimensions)
+    budget = max(4 * rec, int(n * rec * fraction))
+    unit_bytes = max(16 * rec, budget // 8)
+    buffer_units = max(2, budget // unit_bytes)
+    return unit_bytes, buffer_units
+
+
+def cmd_generate(args) -> int:
+    """Handle ``repro generate``."""
+    if args.kind == "uniform":
+        pts = uniform(args.n, args.dims, seed=args.seed)
+    elif args.kind == "clusters":
+        pts = gaussian_clusters(args.n, args.dims,
+                                clusters=args.clusters, seed=args.seed)
+    else:
+        pts = cad_like(args.n, args.dims, seed=args.seed)
+    save_points(args.out, pts)
+    print(f"wrote {args.n} {args.dims}-d {args.kind} points to {args.out}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Handle ``repro info``."""
+    with SimulatedDisk(path=args.file) as disk:
+        pf = PointFile.open(disk)
+        ids, pts = pf.read_all()
+    print(f"file        : {args.file}")
+    print(f"points      : {pf.count}")
+    print(f"dimensions  : {pf.dimensions}")
+    print(f"record bytes: {pf.record_bytes}")
+    print(f"data bytes  : {pf.data_bytes}")
+    if len(pts):
+        print(f"bounds      : min {pts.min(axis=0).round(4).tolist()}")
+        print(f"              max {pts.max(axis=0).round(4).tolist()}")
+        print(f"id range    : [{ids.min()}, {ids.max()}]")
+    return 0
+
+
+def _print_pairs(result, limit: int) -> None:
+    a, b = result.pairs()
+    shown = min(limit, len(a)) if limit >= 0 else len(a)
+    for i in range(shown):
+        print(f"{a[i]},{b[i]}")
+    if shown < len(a):
+        print(f"... ({len(a) - shown} more pairs)", file=sys.stderr)
+
+
+def cmd_join(args) -> int:
+    """Handle ``repro join``."""
+    with SimulatedDisk(path=args.file) as disk:
+        pf = PointFile.open(disk)
+        unit_bytes, buffer_units = _budget_geometry(
+            pf.count, pf.dimensions, args.buffer_fraction)
+        report = ego_self_join_file(pf, args.epsilon,
+                                    unit_bytes=unit_bytes,
+                                    buffer_units=buffer_units,
+                                    materialize=not args.count_only,
+                                    metric=args.metric)
+    print(f"pairs: {report.result.count}", file=sys.stderr)
+    s = report.schedule_stats
+    print(f"unit loads: {s.total_unit_loads} "
+          f"(crabstep phases: {s.crabstep_phases}); "
+          f"simulated I/O: {report.simulated_io_time_s:.3f}s",
+          file=sys.stderr)
+    if not args.count_only:
+        _print_pairs(report.result, args.limit)
+    return 0
+
+
+def cmd_join_two(args) -> int:
+    """Handle ``repro join-two``."""
+    with SimulatedDisk(path=args.file_r) as disk_r, \
+            SimulatedDisk(path=args.file_s) as disk_s:
+        fr = PointFile.open(disk_r)
+        fs = PointFile.open(disk_s)
+        unit_bytes, buffer_units = _budget_geometry(
+            fr.count + fs.count, fr.dimensions, args.buffer_fraction)
+        report = ego_join_files(fr, fs, args.epsilon,
+                                unit_bytes=unit_bytes,
+                                buffer_units=buffer_units,
+                                materialize=not args.count_only,
+                                metric=args.metric)
+    print(f"pairs: {report.result.count}", file=sys.stderr)
+    if not args.count_only:
+        _print_pairs(report.result, args.limit)
+    return 0
+
+
+def cmd_dbscan(args) -> int:
+    """Handle ``repro dbscan``."""
+    _ids, pts = load_points(args.file)
+    result = dbscan(pts, args.epsilon, args.min_pts)
+    print(f"clusters: {result.num_clusters}", file=sys.stderr)
+    print(f"noise: {int(result.noise_mask.sum())}", file=sys.stderr)
+    for label in result.labels:
+        print(int(label))
+    return 0
+
+
+def cmd_outliers(args) -> int:
+    """Handle ``repro outliers``."""
+    _ids, pts = load_points(args.file)
+    result = distance_based_outliers(pts, args.distance,
+                                     fraction=args.fraction)
+    print(f"outliers: {result.num_outliers}", file=sys.stderr)
+    for idx in result.outlier_ids:
+        print(int(idx))
+    return 0
+
+
+def cmd_knn(args) -> int:
+    """Handle ``repro knn``."""
+    from .apps.knn import knn_graph
+    _ids, pts = load_points(args.file)
+    graph = knn_graph(pts, args.k)
+    print(f"rounds: {graph.rounds}, final epsilon: "
+          f"{graph.final_epsilon:.6g}", file=sys.stderr)
+    print(f"mean {args.k}-NN distance: "
+          f"{graph.mean_knn_distance():.6g}", file=sys.stderr)
+    limit = args.limit if args.limit >= 0 else len(graph)
+    for i in range(min(limit, len(graph))):
+        neigh = ",".join(str(int(x)) for x in graph.neighbors[i]
+                         if x >= 0)
+        print(f"{i}:{neigh}")
+    return 0
+
+
+def cmd_optics(args) -> int:
+    """Handle ``repro optics``."""
+    from .apps.optics import optics
+    _ids, pts = load_points(args.file)
+    result = optics(pts, args.epsilon, args.min_pts)
+    print(f"ordering computed for {len(pts)} points", file=sys.stderr)
+    plot = result.reachability_plot()
+    for p, reach in zip(result.ordering, plot):
+        value = "undefined" if np.isinf(reach) else f"{reach:.6g}"
+        print(f"{int(p)} {value}")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    """Handle ``repro estimate``."""
+    if args.budget_bytes:
+        est = choose_unit_size(args.n, args.dims, args.epsilon,
+                               args.budget_bytes)
+        print(f"recommended unit size : {est.unit_bytes} bytes "
+              f"({est.buffer_units} buffer frames)")
+    else:
+        est = estimate_ego_join(args.n, args.dims, args.epsilon,
+                                args.unit_bytes, args.buffer_units)
+    print(f"units                 : {est.units}")
+    print(f"interval (units)      : {est.interval_units:.1f}")
+    print(f"mode                  : "
+          f"{'gallop' if est.gallop else 'crabstep'}")
+    print(f"predicted unit loads  : {est.predicted_unit_loads:.0f}")
+    print(f"sort runs / passes    : {est.sort_runs} / {est.sort_passes}")
+    print(f"predicted I/O seconds : {est.predicted_io_time_s:.3f}")
+    if args.file:
+        from .analysis.selectivity import (grid_selectivity,
+                                           sample_selectivity)
+        _ids, pts = load_points(args.file)
+        by_sample = sample_selectivity(pts, args.epsilon, args.n)
+        by_grid = grid_selectivity(pts, args.epsilon, args.n)
+        print(f"predicted result pairs: {by_sample:.0f} (sampling) / "
+              f"{by_grid:.0f} (grid histogram)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Epsilon Grid Order similarity join (SIGMOD 2001 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="write a synthetic point file")
+    g.add_argument("--kind", choices=["uniform", "clusters", "cad"],
+                   default="uniform")
+    g.add_argument("--n", type=int, required=True)
+    g.add_argument("--dims", type=int, default=8)
+    g.add_argument("--clusters", type=int, default=10)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", required=True)
+    g.set_defaults(func=cmd_generate)
+
+    i = sub.add_parser("info", help="describe a point file")
+    i.add_argument("file")
+    i.set_defaults(func=cmd_info)
+
+    j = sub.add_parser("join", help="external EGO self-join")
+    j.add_argument("file")
+    j.add_argument("--epsilon", type=float, required=True)
+    j.add_argument("--buffer-fraction", type=float, default=0.10)
+    j.add_argument("--count-only", action="store_true")
+    j.add_argument("--limit", type=int, default=20,
+                   help="max pairs printed (-1 for all)")
+    j.add_argument("--metric", default="euclidean",
+                   help="euclidean | manhattan | chebyshev")
+    j.set_defaults(func=cmd_join)
+
+    j2 = sub.add_parser("join-two", help="external EGO R ⋈ S join")
+    j2.add_argument("file_r")
+    j2.add_argument("file_s")
+    j2.add_argument("--epsilon", type=float, required=True)
+    j2.add_argument("--buffer-fraction", type=float, default=0.10)
+    j2.add_argument("--count-only", action="store_true")
+    j2.add_argument("--limit", type=int, default=20)
+    j2.add_argument("--metric", default="euclidean",
+                    help="euclidean | manhattan | chebyshev")
+    j2.set_defaults(func=cmd_join_two)
+
+    d = sub.add_parser("dbscan", help="join-based DBSCAN clustering")
+    d.add_argument("file")
+    d.add_argument("--epsilon", type=float, required=True)
+    d.add_argument("--min-pts", type=int, default=5)
+    d.set_defaults(func=cmd_dbscan)
+
+    o = sub.add_parser("outliers", help="DB(p, D) outlier detection")
+    o.add_argument("file")
+    o.add_argument("--distance", type=float, required=True)
+    o.add_argument("--fraction", type=float, default=0.95)
+    o.set_defaults(func=cmd_outliers)
+
+    kn = sub.add_parser("knn", help="exact kNN graph via iterated joins")
+    kn.add_argument("file")
+    kn.add_argument("--k", type=int, default=5)
+    kn.add_argument("--limit", type=int, default=20,
+                    help="rows printed (-1 for all)")
+    kn.set_defaults(func=cmd_knn)
+
+    op = sub.add_parser("optics",
+                        help="OPTICS cluster ordering via one join")
+    op.add_argument("file")
+    op.add_argument("--epsilon", type=float, required=True)
+    op.add_argument("--min-pts", type=int, default=5)
+    op.set_defaults(func=cmd_optics)
+
+    e = sub.add_parser("estimate",
+                       help="query-optimizer cost model (no data needed)")
+    e.add_argument("--n", type=int, required=True)
+    e.add_argument("--dims", type=int, default=8)
+    e.add_argument("--epsilon", type=float, required=True)
+    e.add_argument("--unit-bytes", type=int, default=65536)
+    e.add_argument("--buffer-units", type=int, default=8)
+    e.add_argument("--budget-bytes", type=int, default=0,
+                   help="optimise the unit size under this buffer budget")
+    e.add_argument("--file", default=None,
+                   help="sample this point file to also predict the "
+                        "result cardinality")
+    e.set_defaults(func=cmd_estimate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,364 @@
+"""Top-level EGO similarity join.
+
+Three entry points:
+
+* :func:`ego_self_join` — in-memory self-join of a point array.  The
+  whole EGO-sorted data set is one sequence; the recursion of Figure 6
+  does all the work (no I/O scheduling needed when everything fits).
+* :func:`ego_join` — in-memory R ⋈ S join of two point arrays.
+* :func:`ego_self_join_file` — the full external pipeline of the paper:
+  external merge sort by epsilon grid order, then the gallop/crabstep
+  I/O schedule of Figure 4 over fixed-size I/O units with a bounded
+  buffer.
+
+The external variant returns an :class:`ExternalJoinReport` with the
+complete operation accounting (sort runs, unit loads, distance
+computations, simulated I/O time) that the benchmark harness feeds into
+the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sorting.external_sort import SortStats, external_sort
+from ..storage.disk import SimulatedDisk
+from ..storage.pagefile import PointFile
+from ..storage.stats import CPUCounters, IOCounters
+from .ego_order import (ego_sorted, ensure_finite, grid_cells,
+                        validate_epsilon)
+from .preprocess import resolve_dimension_order
+from .result import JoinResult
+from .scheduler import EGOScheduler, ScheduleStats
+from .sequence import Sequence
+from .sequence_join import DEFAULT_MINLEN, JoinContext, join_sequences
+
+
+def _make_context(epsilon: float, result: JoinResult, minlen: int,
+                  engine: str, order_dimensions: bool,
+                  cpu: Optional[CPUCounters],
+                  metric=None, split_strategy: str = "half") -> JoinContext:
+    return JoinContext(epsilon=epsilon, result=result, minlen=minlen,
+                       engine=engine, order_dimensions=order_dimensions,
+                       cpu=cpu, metric=metric,
+                       split_strategy=split_strategy)
+
+
+def ego_self_join(points: np.ndarray, epsilon: float,
+                  ids: Optional[np.ndarray] = None,
+                  minlen: int = DEFAULT_MINLEN, engine: str = "vector",
+                  order_dimensions: bool = True,
+                  cpu: Optional[CPUCounters] = None,
+                  result: Optional[JoinResult] = None,
+                  metric=None, sort_dims=None,
+                  split_strategy: str = "half") -> JoinResult:
+    """In-memory EGO similarity self-join.
+
+    Returns every unordered pair of distinct points at distance at most
+    ``epsilon``, reported once.  Pair ids refer to ``ids`` when given,
+    otherwise to input row positions.  ``metric`` selects the distance
+    (default Euclidean; any Minkowski L_p name/power or L_∞ — the
+    paper's pruning holds for the whole family).  ``sort_dims``
+    re-weighs the grid order's dimensions before sorting ("natural",
+    "spread", "variance" or an explicit permutation — §4's sort-order
+    modification); results are permutation-invariant, only pruning
+    changes.
+    """
+    validate_epsilon(epsilon)
+    pts = ensure_finite(points)
+    if result is None:
+        result = JoinResult()
+    if len(pts) == 0:
+        return result
+    perm = resolve_dimension_order(pts, epsilon, sort_dims)
+    if not np.array_equal(perm, np.arange(pts.shape[1])):
+        pts = np.ascontiguousarray(pts[:, perm])
+    sorted_ids, sorted_pts = ego_sorted(pts, epsilon, ids)
+    ctx = _make_context(epsilon, result, minlen, engine, order_dimensions,
+                        cpu, metric=metric, split_strategy=split_strategy)
+    seq = Sequence(sorted_ids, sorted_pts, epsilon)
+    join_sequences(seq, seq, ctx)
+    return result
+
+
+def ego_join(points_r: np.ndarray, points_s: np.ndarray, epsilon: float,
+             ids_r: Optional[np.ndarray] = None,
+             ids_s: Optional[np.ndarray] = None,
+             minlen: int = DEFAULT_MINLEN, engine: str = "vector",
+             order_dimensions: bool = True,
+             cpu: Optional[CPUCounters] = None,
+             result: Optional[JoinResult] = None,
+             metric=None, sort_dims=None,
+             split_strategy: str = "half") -> JoinResult:
+    """In-memory EGO similarity join of two point sets.
+
+    Returns all pairs ``(r, s)`` with ``‖r − s‖ ≤ ε``; the first id of
+    each pair refers to ``points_r``, the second to ``points_s``.
+    ``sort_dims`` (see :func:`ego_self_join`) is resolved on the union
+    of both sets so one permutation applies to both sides.
+    """
+    validate_epsilon(epsilon)
+    r = ensure_finite(points_r)
+    s = ensure_finite(points_s)
+    if result is None:
+        result = JoinResult()
+    if len(r) == 0 or len(s) == 0:
+        return result
+    if r.shape[1] != s.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: {r.shape[1]} vs {s.shape[1]}")
+    perm = resolve_dimension_order(np.vstack([r, s]), epsilon, sort_dims)
+    if not np.array_equal(perm, np.arange(r.shape[1])):
+        r = np.ascontiguousarray(r[:, perm])
+        s = np.ascontiguousarray(s[:, perm])
+    rid, rpts = ego_sorted(r, epsilon, ids_r)
+    sid, spts = ego_sorted(s, epsilon, ids_s)
+    ctx = _make_context(epsilon, result, minlen, engine, order_dimensions,
+                        cpu, metric=metric, split_strategy=split_strategy)
+    join_sequences(Sequence(rid, rpts, epsilon),
+                   Sequence(sid, spts, epsilon), ctx)
+    return result
+
+
+@dataclass
+class ExternalJoinReport:
+    """Full accounting of one external EGO self-join run."""
+
+    result: JoinResult
+    sort_stats: SortStats
+    schedule_stats: ScheduleStats
+    cpu: CPUCounters
+    io: IOCounters
+    simulated_io_time_s: float
+    sort_io_time_s: float
+    join_io_time_s: float
+
+
+def ego_key_function(epsilon: float):
+    """Key function for the external sort: the ε-grid cell coordinates."""
+    eps = validate_epsilon(epsilon)
+
+    def key_of_batch(points: np.ndarray) -> np.ndarray:
+        return grid_cells(points, eps)
+
+    return key_of_batch
+
+
+@dataclass
+class ExternalRSJoinReport:
+    """Full accounting of one external R ⋈ S EGO join run."""
+
+    result: JoinResult
+    sort_stats_r: SortStats
+    sort_stats_s: SortStats
+    schedule_stats: "RSScheduleStats"
+    cpu: CPUCounters
+    io: IOCounters
+    simulated_io_time_s: float
+    sort_io_time_s: float
+    join_io_time_s: float
+
+
+def ego_join_files(file_r: PointFile, file_s: PointFile, epsilon: float,
+                   unit_bytes: int, buffer_units: int,
+                   sort_memory_records: Optional[int] = None,
+                   minlen: int = DEFAULT_MINLEN, engine: str = "vector",
+                   order_dimensions: bool = True,
+                   materialize: bool = True,
+                   metric=None) -> ExternalRSJoinReport:
+    """External EGO join of two point files (R ⋈ S).
+
+    Both files are externally sorted into epsilon grid order, then the
+    two-file generalisation of the paper's schedule
+    (:class:`~repro.core.rs_scheduler.TwoFileScheduler`) forms all unit
+    pairs within the cross-file ε-interval.  Result pairs are
+    ``(r_id, s_id)``; if the same physical file is passed for both
+    sides, reflexive and mirrored pairs are included (two-set
+    semantics, like :func:`ego_join`).
+    """
+    from .rs_scheduler import RSScheduleStats, TwoFileScheduler
+
+    validate_epsilon(epsilon)
+    if file_r.dimensions != file_s.dimensions:
+        raise ValueError(
+            f"dimension mismatch: {file_r.dimensions} vs "
+            f"{file_s.dimensions}")
+    codec = file_r.codec
+    if sort_memory_records is None:
+        per_unit = max(1, unit_bytes // codec.record_bytes)
+        sort_memory_records = max(2, buffer_units * per_unit)
+
+    key = ego_key_function(epsilon)
+    disks = [SimulatedDisk() for _ in range(3)]
+    sorted_r_disk, sorted_s_disk, scratch = disks
+    try:
+        time_before = (file_r.disk.simulated_time_s,
+                       file_s.disk.simulated_time_s)
+        io_before = (file_r.disk.counters.snapshot(),
+                     file_s.disk.counters.snapshot())
+        sorted_r, sort_r = external_sort(file_r, sorted_r_disk, scratch,
+                                         key, sort_memory_records)
+        sorted_s, sort_s = external_sort(file_s, sorted_s_disk, scratch,
+                                         key, sort_memory_records)
+        sort_io_time = (
+            (file_r.disk.simulated_time_s - time_before[0])
+            + (file_s.disk.simulated_time_s - time_before[1])
+            + sorted_r_disk.simulated_time_s
+            + sorted_s_disk.simulated_time_s
+            + scratch.simulated_time_s)
+
+        cpu = CPUCounters()
+        result = JoinResult(materialize=materialize)
+        ctx = JoinContext(epsilon=epsilon, result=result, minlen=minlen,
+                          engine=engine, order_dimensions=order_dimensions,
+                          cpu=cpu, metric=metric)
+        join_before = (sorted_r_disk.simulated_time_s
+                       + sorted_s_disk.simulated_time_s)
+        scheduler = TwoFileScheduler(sorted_r, sorted_s, ctx, unit_bytes,
+                                     buffer_units)
+        schedule_stats = scheduler.run()
+        join_io_time = (sorted_r_disk.simulated_time_s
+                        + sorted_s_disk.simulated_time_s) - join_before
+
+        io_total = ((file_r.disk.counters - io_before[0])
+                    + (file_s.disk.counters - io_before[1])
+                    + sorted_r_disk.counters + sorted_s_disk.counters
+                    + scratch.counters)
+        return ExternalRSJoinReport(
+            result=result, sort_stats_r=sort_r, sort_stats_s=sort_s,
+            schedule_stats=schedule_stats, cpu=cpu, io=io_total,
+            simulated_io_time_s=sort_io_time + join_io_time,
+            sort_io_time_s=sort_io_time, join_io_time_s=join_io_time)
+    finally:
+        for disk in disks:
+            disk.close()
+
+
+def ego_self_join_file(input_file: PointFile, epsilon: float,
+                       unit_bytes: int, buffer_units: int,
+                       sort_memory_records: Optional[int] = None,
+                       sorted_disk: Optional[SimulatedDisk] = None,
+                       scratch_disk: Optional[SimulatedDisk] = None,
+                       minlen: int = DEFAULT_MINLEN, engine: str = "vector",
+                       order_dimensions: bool = True,
+                       allow_crabstep: bool = True,
+                       materialize: bool = True,
+                       metric=None,
+                       assume_sorted: bool = False,
+                       sorted_epsilon: Optional[float] = None
+                       ) -> ExternalJoinReport:
+    """External EGO self-join of a point file (the paper's full pipeline).
+
+    Parameters
+    ----------
+    input_file:
+        The unsorted input on its simulated disk.
+    unit_bytes, buffer_units:
+        I/O unit size and the number of unit frames the join may buffer.
+    sort_memory_records:
+        Working memory of the external sort, in records.  Defaults to the
+        same budget the join phase gets (``buffer_units`` units worth of
+        records), so both phases respect one memory limit.
+    sorted_disk, scratch_disk:
+        Disks for the sorted output and the sort runs; anonymous
+        temporary disks are created (and closed) when omitted.
+    allow_crabstep:
+        Forwarded to the scheduler; ``False`` reproduces gallop-mode
+        thrashing (Figure 3b).
+    assume_sorted, sorted_epsilon:
+        Skip the external sort: ``input_file`` is already in epsilon
+        grid order for ``sorted_epsilon`` (default: ``epsilon``).  A
+        file sorted at εs serves any join epsilon ≤ εs directly, and
+        any integer multiple k·εs (the coarser grid is a function of
+        the finer one) — which is how a parameter sweep reuses one
+        sort.  See ``grid_epsilon`` in
+        :class:`~repro.core.sequence_join.JoinContext`.
+    """
+    validate_epsilon(epsilon)
+    codec = input_file.codec
+    if sort_memory_records is None:
+        per_unit = max(1, unit_bytes // codec.record_bytes)
+        sort_memory_records = max(2, buffer_units * per_unit)
+
+    grid_epsilon = float(epsilon)
+    if assume_sorted:
+        eps_s = float(epsilon) if sorted_epsilon is None \
+            else validate_epsilon(sorted_epsilon)
+        if epsilon <= eps_s + 1e-12:
+            grid_epsilon = eps_s
+        else:
+            ratio = epsilon / eps_s
+            if abs(ratio - round(ratio)) > 1e-9:
+                raise ValueError(
+                    f"a file sorted at {eps_s} can serve joins at "
+                    f"epsilon <= {eps_s} or integer multiples of it, "
+                    f"not {epsilon}")
+            grid_epsilon = float(epsilon)
+
+    own_sorted = sorted_disk is None and not assume_sorted
+    own_scratch = scratch_disk is None and not assume_sorted
+    if own_sorted:
+        sorted_disk = SimulatedDisk()
+    if own_scratch:
+        scratch_disk = SimulatedDisk()
+    try:
+        if assume_sorted:
+            sorted_file = input_file
+            sorted_disk_obj = input_file.disk
+            io_before = (input_file.disk.counters.snapshot(),)
+            sort_stats = SortStats()
+            sort_io_time = 0.0
+        else:
+            sorted_disk_obj = sorted_disk
+            io_before = (input_file.disk.counters.snapshot(),
+                         sorted_disk.counters.snapshot(),
+                         scratch_disk.counters.snapshot())
+            time_before = (input_file.disk.simulated_time_s,
+                           sorted_disk.simulated_time_s,
+                           scratch_disk.simulated_time_s)
+
+            sorted_file, sort_stats = external_sort(
+                input_file, sorted_disk, scratch_disk,
+                ego_key_function(epsilon), sort_memory_records)
+            sort_io_time = (
+                (input_file.disk.simulated_time_s - time_before[0])
+                + (sorted_disk.simulated_time_s - time_before[1])
+                + (scratch_disk.simulated_time_s - time_before[2]))
+
+        cpu = CPUCounters()
+        result = JoinResult(materialize=materialize)
+        ctx = JoinContext(epsilon=epsilon, result=result, minlen=minlen,
+                          engine=engine, order_dimensions=order_dimensions,
+                          cpu=cpu, metric=metric,
+                          grid_epsilon=grid_epsilon)
+        join_time_before = sorted_disk_obj.simulated_time_s
+        scheduler = EGOScheduler(sorted_file, ctx, unit_bytes, buffer_units,
+                                 allow_crabstep=allow_crabstep)
+        schedule_stats = scheduler.run()
+        join_io_time = sorted_disk_obj.simulated_time_s - join_time_before
+
+        if assume_sorted:
+            io_total = input_file.disk.counters - io_before[0]
+        else:
+            io_total = (
+                (input_file.disk.counters - io_before[0])
+                + (sorted_disk.counters - io_before[1])
+                + (scratch_disk.counters - io_before[2]))
+        return ExternalJoinReport(
+            result=result,
+            sort_stats=sort_stats,
+            schedule_stats=schedule_stats,
+            cpu=cpu,
+            io=io_total,
+            simulated_io_time_s=sort_io_time + join_io_time,
+            sort_io_time_s=sort_io_time,
+            join_io_time_s=join_io_time,
+        )
+    finally:
+        if own_scratch:
+            scratch_disk.close()
+        if own_sorted:
+            sorted_disk.close()

@@ -1,0 +1,109 @@
+"""Join result collection.
+
+Similarity joins can produce result sets far larger than their input, so
+the collector supports three modes: materialising pairs (chunked numpy
+arrays), counting only, and streaming to a callback — the mode data-mining
+algorithms built on top of the join use (Section 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+import numpy as np
+
+PairCallback = Callable[[np.ndarray, np.ndarray], None]
+
+
+class JoinResult:
+    """Collector for (id, id) join pairs.
+
+    Parameters
+    ----------
+    materialize:
+        Keep the pairs in memory (default).  Disable for count-only runs.
+    callback:
+        Optional function called with each batch ``(ids_a, ids_b)`` as it
+        is produced.
+    collect_distances:
+        Also keep the Euclidean distance of every pair.  Joins that
+        support it (the EGO core) fill them in; applications like OPTICS
+        need them.
+    """
+
+    def __init__(self, materialize: bool = True,
+                 callback: Optional[PairCallback] = None,
+                 collect_distances: bool = False) -> None:
+        self.materialize = materialize
+        self.callback = callback
+        self.collect_distances = collect_distances
+        self.count = 0
+        self._chunks_a: List[np.ndarray] = []
+        self._chunks_b: List[np.ndarray] = []
+        self._chunks_d: List[np.ndarray] = []
+
+    def add_batch(self, ids_a: np.ndarray, ids_b: np.ndarray,
+                  distances: Optional[np.ndarray] = None) -> None:
+        """Record a batch of result pairs (parallel id arrays)."""
+        n = len(ids_a)
+        if n != len(ids_b):
+            raise ValueError(
+                f"batch id arrays differ in length: {n} vs {len(ids_b)}")
+        if self.collect_distances and distances is None:
+            raise ValueError(
+                "this result collects distances but the batch has none "
+                "(is the producing join distance-aware?)")
+        if distances is not None and len(distances) != n:
+            raise ValueError(
+                f"batch distances length {len(distances)} != {n} pairs")
+        if n == 0:
+            return
+        self.count += n
+        if self.callback is not None:
+            self.callback(ids_a, ids_b)
+        if self.materialize:
+            self._chunks_a.append(np.asarray(ids_a, dtype=np.int64))
+            self._chunks_b.append(np.asarray(ids_b, dtype=np.int64))
+            if self.collect_distances:
+                self._chunks_d.append(
+                    np.asarray(distances, dtype=np.float64))
+
+    def add_pair(self, id_a: int, id_b: int,
+                 distance: Optional[float] = None) -> None:
+        """Record a single result pair."""
+        dist = None if distance is None else np.array([distance])
+        self.add_batch(np.array([id_a], dtype=np.int64),
+                       np.array([id_b], dtype=np.int64), distances=dist)
+
+    def distances(self) -> np.ndarray:
+        """Euclidean distances parallel to :meth:`pairs`."""
+        if not self.collect_distances:
+            raise RuntimeError("distances were not collected")
+        if not self.materialize:
+            raise RuntimeError("pairs were not materialized")
+        if not self._chunks_d:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(self._chunks_d)
+
+    def pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All collected pairs as two parallel id arrays."""
+        if not self.materialize:
+            raise RuntimeError("pairs were not materialized")
+        if not self._chunks_a:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        return np.concatenate(self._chunks_a), np.concatenate(self._chunks_b)
+
+    def pair_set(self) -> Set[Tuple[int, int]]:
+        """Collected pairs as a set of ``(id_a, id_b)`` tuples."""
+        a, b = self.pairs()
+        return set(zip(a.tolist(), b.tolist()))
+
+    def canonical_pair_set(self) -> Set[Tuple[int, int]]:
+        """Pairs as unordered ``(min, max)`` tuples, for self-join comparison."""
+        a, b = self.pairs()
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        return set(zip(lo.tolist(), hi.tolist()))
+
+    def __len__(self) -> int:
+        return self.count

@@ -1,0 +1,292 @@
+"""I/O scheduling over an EGO-sorted file (Section 3.2, Figure 4).
+
+The file is processed as a series of fixed-size I/O units.  Lemmata 2
+and 3 bound the join mates of every point to its ε-interval, so a unit
+only ever needs to be joined with the units inside that interval.
+
+Two modes are used, switching on demand:
+
+* **gallop mode** — while the ε-interval fits in the buffer, each unit is
+  loaded exactly once, joined against all resident units, and units whose
+  interval has passed are evicted (the cleanup step between marks 1 and 2
+  of Figure 4);
+* **crabstep mode** — when the buffer fills while the interval is still
+  open, the scheduler pins a window of new units (all buffer frames but
+  one), joins them among each other, then iterates the single remaining
+  frame over the earlier units that are still inside the window's
+  ε-interval, joining each against the pinned window (outer-loop
+  buffering, marks 3–4 of Figure 4).
+
+The published pseudocode is, as the paper notes, simplified: it derives
+the crabstep reload range from the oldest *resident* buffer, which can
+drop pairs when consecutive crabsteps overlap.  This implementation keeps
+per-unit boundary metadata (first/last cell of every unit seen so far)
+and recomputes the reload range from the Lemma-2 test itself, which is
+the behaviour the figure-3 accounting describes.
+
+A ``allow_crabstep=False`` switch degrades the scheduler to pure gallop
+with LRU replacement, reproducing the thrashing behaviour of Figure 3b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..storage.buffer import BufferPool
+from ..storage.pagefile import PointFile
+from .ego_order import grid_cells, lex_less
+from .sequence_join import JoinContext, join_point_blocks
+
+UnitData = Tuple[np.ndarray, np.ndarray]
+
+
+@dataclass
+class UnitMeta:
+    """Grid-cell bounds of one I/O unit (recorded on first load)."""
+
+    first_cells: np.ndarray
+    last_cells: np.ndarray
+
+    @property
+    def last_plus_eps_cells(self) -> np.ndarray:
+        """Cells of ``last_point + [ε,…,ε]``: every coordinate shifts by one."""
+        return self.last_cells + 1
+
+
+@dataclass
+class ScheduleStats:
+    """Accounting of one scheduler run."""
+
+    gallop_loads: int = 0
+    crabstep_pins: int = 0
+    crabstep_reloads: int = 0
+    crabstep_phases: int = 0
+    unit_pairs_joined: int = 0
+    unit_pairs_skipped: int = 0
+    evictions: int = 0
+
+    @property
+    def total_unit_loads(self) -> int:
+        """Physical unit loads issued by the schedule (buffer hits excluded)."""
+        return self.gallop_loads + self.crabstep_pins + self.crabstep_reloads
+
+
+class EGOScheduler:
+    """Schedules unit loads and unit-pair joins for an EGO self-join.
+
+    Parameters
+    ----------
+    point_file:
+        The EGO-sorted input file.
+    ctx:
+        Join parameters; unit pairs are joined with
+        :func:`~repro.core.sequence_join.join_point_blocks`.
+    unit_bytes:
+        I/O unit size in bytes.
+    buffer_units:
+        Number of unit frames available (must be at least 2).
+    allow_crabstep:
+        When ``False``, stay in gallop mode and let LRU replacement cause
+        the thrashing of Figure 3b (used by the scheduling benchmark).
+    """
+
+    def __init__(self, point_file: PointFile, ctx: JoinContext,
+                 unit_bytes: int, buffer_units: int,
+                 allow_crabstep: bool = True,
+                 trace: Optional[List[Tuple[str, int, int]]] = None
+                 ) -> None:
+        if buffer_units < 2:
+            raise ValueError(
+                f"the scheduler needs at least 2 buffer frames, "
+                f"got {buffer_units}")
+        self.point_file = point_file
+        self.ctx = ctx
+        self.unit_bytes = unit_bytes
+        self.allow_crabstep = allow_crabstep
+        self.trace = trace
+        self.stats = ScheduleStats()
+        self.meta: Dict[int, UnitMeta] = {}
+        self.pool: BufferPool[int, UnitData] = BufferPool(
+            buffer_units, self._load_unit)
+        # Only units in which at least one record starts take part in
+        # the schedule: fragmentation can leave units holding nothing
+        # but fragments (always the trailing unit; with units smaller
+        # than a record also interior ones).  The schedule runs over
+        # ordinals into this list.
+        if point_file.count == 0:
+            self.unit_ids = np.empty(0, dtype=np.int64)
+        else:
+            starts = (np.arange(point_file.count, dtype=np.int64)
+                      * point_file.record_bytes)
+            self.unit_ids = np.unique(starts // unit_bytes)
+        self.num_units = len(self.unit_ids)
+
+    # -- unit loading and metadata ------------------------------------------
+
+    def _load_unit(self, ordinal: int) -> UnitData:
+        if self.trace is not None:
+            self.trace.append(("load", ordinal, ordinal))
+        ids, points = self.point_file.read_unit(
+            int(self.unit_ids[ordinal]), self.unit_bytes)
+        if ordinal not in self.meta and len(points):
+            cells = grid_cells(points[[0, -1]], self.ctx.grid_epsilon)
+            self.meta[ordinal] = UnitMeta(first_cells=cells[0],
+                                          last_cells=cells[1])
+        return ids, points
+
+    def _needed(self, unit: int, frontier: int) -> bool:
+        """Lemma-2 test: can ``unit`` contain mates of ``frontier`` or later?
+
+        ``unit`` is obsolete once ``unit.last + [ε,…,ε] <ego
+        frontier.last`` — then no point of ``unit`` can join any point of
+        ``frontier`` or of any unit after it.
+        """
+        m = self.meta.get(unit)
+        f = self.meta.get(frontier)
+        if m is None or f is None:
+            return True
+        return not lex_less(m.last_plus_eps_cells, f.last_cells)
+
+    def _units_may_join(self, a: int, b: int) -> bool:
+        """Interval test for a unit pair (the canceled region of Figure 2)."""
+        ma, mb = self.meta.get(a), self.meta.get(b)
+        if ma is None or mb is None:
+            return True
+        if lex_less(ma.last_plus_eps_cells, mb.first_cells):
+            return False
+        if lex_less(mb.last_plus_eps_cells, ma.first_cells):
+            return False
+        return True
+
+    def _join_units(self, a: int, b: int) -> None:
+        """Join the resident units ``a`` and ``b`` (``a == b`` is a self-join)."""
+        if a != b and not self._units_may_join(a, b):
+            self.stats.unit_pairs_skipped += 1
+            if self.trace is not None:
+                self.trace.append(("skip", min(a, b), max(a, b)))
+            return
+        if self.trace is not None:
+            self.trace.append(("join", min(a, b), max(a, b)))
+        self.stats.unit_pairs_joined += 1
+        ids_a, pts_a = self.pool.peek(a).value
+        if a == b:
+            join_point_blocks(ids_a, pts_a, ids_a, pts_a, self.ctx,
+                              same_block=True)
+        else:
+            ids_b, pts_b = self.pool.peek(b).value
+            join_point_blocks(ids_a, pts_a, ids_b, pts_b, self.ctx)
+
+    # -- the schedule ---------------------------------------------------------
+
+    def run(self) -> ScheduleStats:
+        """Execute the full schedule; returns the accounting."""
+        if self.num_units == 0:
+            return self.stats
+        self.pool.get(0)
+        self.stats.gallop_loads += 1
+        self._join_units(0, 0)
+        i = 1
+        while i < self.num_units:
+            frontier = i - 1
+            self._cleanup(frontier)
+            if self.pool.has_empty_frame() or not self.allow_crabstep:
+                i = self._gallop_step(i)
+            else:
+                i = self._crabstep(i)
+        return self.stats
+
+    def _cleanup(self, frontier: int) -> None:
+        """Figure 4, mark 1: drop buffers whose ε-interval has passed."""
+        for key in list(self.pool.resident_keys):
+            if key != frontier and not self._needed(key, frontier):
+                self.pool.discard(key)
+                self.stats.evictions += 1
+
+    def _gallop_step(self, i: int) -> int:
+        """Figure 4, mark 2: load the next unit and join it with the buffer.
+
+        Without crabstep permission this may evict under LRU, which is
+        exactly the I/O thrashing the paper's Figure 3b illustrates; the
+        evicted partners are then reloaded one by one.
+        """
+        if self.allow_crabstep:
+            partners = list(self.pool.resident_keys)
+            self.pool.get(i)
+            self.stats.gallop_loads += 1
+            for b in partners:
+                self._join_units(b, i)
+            self._join_units(i, i)
+            return i + 1
+        # Thrashing variant: the new unit is pinned while every partner in
+        # its ε-interval is faulted through the LRU pool.
+        misses_before = self.pool.stats.misses
+        self.pool.get(i, pin=True)
+        low = self._interval_low(i)
+        for b in range(low, i):
+            self.pool.get(b)
+            self._join_units(b, i)
+        self._join_units(i, i)
+        self.pool.unpin(i)
+        self.stats.gallop_loads += self.pool.stats.misses - misses_before
+        return i + 1
+
+    def _interval_low(self, unit: int) -> int:
+        """Smallest unit index that may contain mates of ``unit`` or later.
+
+        Unit ``j`` is out of the interval once ``j.last + [ε,…,ε] <ego
+        unit.first`` (Lemma 2 in cell arithmetic); the last cells of the
+        EGO-sorted units are non-decreasing, so the needed units form a
+        contiguous range ending at ``unit``.
+        """
+        target_first = self.meta[unit].first_cells
+        low = unit
+        while low > 0:
+            prev = self.meta[low - 1]
+            if lex_less(prev.last_plus_eps_cells, target_first):
+                break
+            low -= 1
+        return low
+
+    def _crabstep(self, i: int) -> int:
+        """Figure 4, marks 3–4: outer-loop buffering over a pinned window."""
+        self.stats.crabstep_phases += 1
+        window_start = i
+        # Phase 1: discard the stale frames and fill all but one frame
+        # with new, pinned units, joining them among each other.
+        for key in list(self.pool.resident_keys):
+            self.pool.discard(key)
+        window: List[int] = []
+        while len(window) < self.pool.capacity - 1 and i < self.num_units:
+            self.pool.get(i, pin=True)
+            self.stats.crabstep_pins += 1
+            for b in window:
+                self._join_units(b, i)
+            self._join_units(i, i)
+            window.append(i)
+            i += 1
+        # Phase 2: iterate the remaining frame over the earlier units that
+        # are still inside the window's ε-interval (judged against the
+        # first point of the window, its EGO-least element).
+        reload_low = self._interval_low(window[0])
+        for j in range(reload_low, window_start):
+            self.pool.get(j)
+            self.stats.crabstep_reloads += 1
+            for b in window:
+                self._join_units(j, b)
+        self.pool.unpin_all()
+        return i
+
+
+def schedule_self_join(point_file: PointFile, ctx: JoinContext,
+                       unit_bytes: int, buffer_units: int,
+                       allow_crabstep: bool = True) -> ScheduleStats:
+    """Run the EGO I/O schedule for a similarity self-join.
+
+    Convenience wrapper constructing and running an :class:`EGOScheduler`.
+    """
+    scheduler = EGOScheduler(point_file, ctx, unit_bytes, buffer_units,
+                             allow_crabstep=allow_crabstep)
+    return scheduler.run()

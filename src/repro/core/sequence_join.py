@@ -1,0 +1,234 @@
+"""Recursive join of EGO-sorted sequences (Figure 6 of the paper).
+
+``join_sequences`` divides each sequence in two halves and recurses,
+pruning pairs whose common inactive dimensions are at cell distance ≥ 2
+(such sequences cannot contain a join pair, Section 3.3).  Below a
+threshold length ``minlen`` the remaining points are compared with the
+early-abort distance test of Figure 7, using the dimension ordering of
+Section 4.2.
+
+Because the sequences are materialised as sorted arrays and halving
+produces views, the join needs no search structure at all; the only
+memory overhead is the recursion stack, as the paper emphasises in
+Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..storage.stats import CPUCounters
+from .distance import (dimension_ordering, natural_ordering,
+                       pairs_within_scalar, pairs_within_vector)
+from .ego_order import lex_less, validate_epsilon
+from .metrics import Metric, get_metric
+from .result import JoinResult
+from .sequence import Sequence
+
+#: Default leaf size.  The paper reports CPU-optimal sequence sizes below
+#: ten points for its C implementation; in this numpy-based reproduction
+#: larger leaves amortise per-call overhead, so the default is higher.
+#: ``benchmarks/bench_ablation_minlen.py`` sweeps this parameter.
+DEFAULT_MINLEN = 32
+
+#: Cell distance in a common inactive dimension from which a sequence
+#: pair cannot contain any join pair.  Section 3.3's formal rule is ≥ 2
+#: (the Figure 6 pseudocode's "> 2" is looser but also safe).
+EXCLUSION_CELL_DISTANCE = 2
+
+
+@dataclass
+class JoinContext:
+    """Parameters and accounting shared by one sequence-join run.
+
+    ``metric`` selects the distance (Euclidean by default; any
+    Minkowski L_p or L_∞ name/power/:class:`Metric` accepted — the
+    paper's pruning rules hold for the whole family, see
+    :mod:`repro.core.metrics`).  ``threshold`` is the combined-value
+    comparison bound the engines use (ε² for Euclidean).
+    """
+
+    epsilon: float
+    result: JoinResult
+    minlen: int = DEFAULT_MINLEN
+    engine: str = "vector"
+    order_dimensions: bool = True
+    exclusion_distance: int = EXCLUSION_CELL_DISTANCE
+    cpu: Optional[CPUCounters] = None
+    metric: object = None
+    grid_epsilon: Optional[float] = None
+    split_strategy: str = "half"
+    eps_sq: float = field(init=False)
+    threshold: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.epsilon = validate_epsilon(self.epsilon)
+        self.eps_sq = self.epsilon * self.epsilon
+        self.metric = get_metric(self.metric)
+        self.threshold = self.metric.threshold(self.epsilon)
+        # The pruning grid may be coarser than the join distance: any
+        # grid_epsilon >= epsilon keeps every rule sound (a cell gap of
+        # >= 2 coarse cells bounds the coordinate gap below by
+        # grid_epsilon >= epsilon).  This is what lets one EGO-sorted
+        # file serve a whole parameter sweep of smaller epsilons.
+        if self.grid_epsilon is None:
+            self.grid_epsilon = self.epsilon
+        else:
+            self.grid_epsilon = validate_epsilon(self.grid_epsilon)
+            if self.grid_epsilon < self.epsilon - 1e-12:
+                raise ValueError(
+                    f"grid_epsilon {self.grid_epsilon} must be at least "
+                    f"the join epsilon {self.epsilon}")
+        if self.minlen < 1:
+            raise ValueError(f"minlen must be at least 1, got {self.minlen}")
+        if self.engine not in ("vector", "scalar"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.split_strategy not in ("half", "boundary"):
+            raise ValueError(
+                f"unknown split_strategy {self.split_strategy!r}")
+
+    @property
+    def engine_metric(self) -> Optional[Metric]:
+        """Metric passed to the distance engines (None = fast Euclidean)."""
+        return None if self.metric.name == "euclidean" else self.metric
+
+
+def _excluded(s: Sequence, t: Sequence, ctx: JoinContext) -> bool:
+    """Pruning rules: ε-interval disjointness and inactive dimensions.
+
+    Two tests, both exact consequences of the paper's lemmata:
+
+    1. Lemma 2/3 at sequence level: when the whole of ``s`` lies below
+       the ε-interval of ``t`` (``s.last + [ε,…,ε] <ego t.first``) or
+       vice versa, no pair can join.  The paper applies this test to
+       I/O units (Figure 2's canceled region); sequences of the sorted
+       array satisfy the same premises.  Without it, sequences that
+       straddle a cell boundary in dimension 0 (and therefore have no
+       inactive dimension) could never be pruned at all.
+    2. The inactive-dimension rule of Section 3.3: a common inactive
+       dimension with cell distance ≥ 2 excludes the pair.
+    """
+    if lex_less(s.last_cells + 1, t.first_cells):
+        return True
+    if lex_less(t.last_cells + 1, s.first_cells):
+        return True
+    common = min(s.inactive_count(), t.inactive_count())
+    if common == 0:
+        return False
+    gap = np.abs(s.first_cells[:common] - t.first_cells[:common])
+    return bool((gap >= ctx.exclusion_distance).any())
+
+
+def simple_join(s: Sequence, t: Sequence, ctx: JoinContext,
+                upper_triangle: bool = False) -> None:
+    """Leaf case: compare the remaining points directly (Figure 7).
+
+    With ``upper_triangle`` the sequences are the identical slice and
+    only pairs ``(i, j)`` with ``i < j`` are produced.
+    """
+    if ctx.order_dimensions:
+        order = dimension_ordering(s, t)
+    else:
+        order = natural_ordering(s.dimensions)
+    if ctx.engine == "vector":
+        finder = pairs_within_vector
+    else:
+        finder = pairs_within_scalar
+    if ctx.result.collect_distances:
+        ia, ib, combined = finder(s.points, t.points, ctx.threshold,
+                                  order, counters=ctx.cpu,
+                                  upper_triangle=upper_triangle,
+                                  return_sq_distances=True,
+                                  metric=ctx.engine_metric)
+        if len(ia):
+            ctx.result.add_batch(s.ids[ia], t.ids[ib],
+                                 distances=ctx.metric.finalize(combined))
+    else:
+        ia, ib = finder(s.points, t.points, ctx.threshold, order,
+                        counters=ctx.cpu, upper_triangle=upper_triangle,
+                        metric=ctx.engine_metric)
+        if len(ia):
+            ctx.result.add_batch(s.ids[ia], t.ids[ib])
+
+
+def _split(seq: Sequence, ctx: JoinContext):
+    """Split a sequence per the context's strategy (§4 recursion knob).
+
+    Boundary splits fall back to halving when the nearest cell boundary
+    is too lopsided (outside the middle 3/4), which bounds the recursion
+    depth at O(log n) like plain halving.
+    """
+    if ctx.split_strategy == "boundary":
+        point = seq.boundary_split_point()
+        n = len(seq)
+        if n // 8 <= point <= n - n // 8:
+            return seq.split_at(point)
+    return seq.first_half(), seq.second_half()
+
+
+def join_sequences(s: Sequence, t: Sequence, ctx: JoinContext) -> None:
+    """Figure 6: recursive divide-and-conquer join of two sequences.
+
+    When ``s`` and ``t`` are the identical slice (a sequence joined with
+    itself), the mirrored recursion quadrant is skipped and the leaf
+    comparison is restricted to the upper triangle so each unordered pair
+    is reported exactly once.
+    """
+    if ctx.cpu is not None:
+        ctx.cpu.sequence_pairs += 1
+    if _excluded(s, t, ctx):
+        if ctx.cpu is not None:
+            ctx.cpu.sequence_exclusions += 1
+        return
+
+    self_pair = s.same_storage(t)
+    s_splittable = len(s) > ctx.minlen
+    t_splittable = len(t) > ctx.minlen
+
+    if not s_splittable and not t_splittable:
+        simple_join(s, t, ctx, upper_triangle=self_pair)
+        return
+
+    if self_pair:
+        first, second = _split(s, ctx)
+        join_sequences(first, first, ctx)
+        join_sequences(first, second, ctx)
+        join_sequences(second, second, ctx)
+        return
+
+    if s_splittable and t_splittable:
+        sf, ss = _split(s, ctx)
+        tf, ts = _split(t, ctx)
+        join_sequences(sf, tf, ctx)
+        join_sequences(sf, ts, ctx)
+        join_sequences(ss, tf, ctx)
+        join_sequences(ss, ts, ctx)
+    elif s_splittable:
+        sf, ss = _split(s, ctx)
+        join_sequences(sf, t, ctx)
+        join_sequences(ss, t, ctx)
+    else:
+        tf, ts = _split(t, ctx)
+        join_sequences(s, tf, ctx)
+        join_sequences(s, ts, ctx)
+
+
+def join_point_blocks(ids_a: np.ndarray, points_a: np.ndarray,
+                      ids_b: np.ndarray, points_b: np.ndarray,
+                      ctx: JoinContext, same_block: bool = False) -> None:
+    """Join two EGO-sorted point blocks (e.g. two loaded I/O units).
+
+    ``same_block=True`` marks the self-join of one block with itself; the
+    arrays for ``a`` and ``b`` must then be the same objects.
+    """
+    if len(ids_a) == 0 or len(ids_b) == 0:
+        return
+    seq_a = Sequence(ids_a, points_a, ctx.grid_epsilon)
+    if same_block:
+        join_sequences(seq_a, seq_a, ctx)
+    else:
+        seq_b = Sequence(ids_b, points_b, ctx.grid_epsilon)
+        join_sequences(seq_a, seq_b, ctx)

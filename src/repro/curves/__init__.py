@@ -1,0 +1,18 @@
+"""Space-filling curves: Z-order (Morton) and Hilbert encodings."""
+
+from .hilbert import (hilbert_decode, hilbert_encode, hilbert_key_columns,
+                      hilbert_transpose_batch)
+from .zorder import (morton_decode, morton_encode, morton_key_columns,
+                     normalize_cells, required_bits)
+
+__all__ = [
+    "hilbert_decode",
+    "hilbert_encode",
+    "hilbert_key_columns",
+    "hilbert_transpose_batch",
+    "morton_decode",
+    "morton_encode",
+    "morton_key_columns",
+    "normalize_cells",
+    "required_bits",
+]

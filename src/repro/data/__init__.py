@@ -1,0 +1,22 @@
+"""Workload generators and dataset persistence."""
+
+from .loader import load_points, make_point_file, save_points
+from .synthetic import (cad_like, epsilon_for_average_neighbors,
+                        gaussian_clusters, uniform)
+from .timeseries import (dft_features, normalize_series, random_walks,
+                         seasonal_series, series_distance)
+
+__all__ = [
+    "cad_like",
+    "epsilon_for_average_neighbors",
+    "gaussian_clusters",
+    "load_points",
+    "make_point_file",
+    "save_points",
+    "uniform",
+    "dft_features",
+    "normalize_series",
+    "random_walks",
+    "seasonal_series",
+    "series_distance",
+]

@@ -1,0 +1,67 @@
+"""Dataset persistence helpers.
+
+Thin convenience layer between in-memory point arrays and the simulated
+storage substrate: write a dataset as a :class:`PointFile` on a
+:class:`SimulatedDisk`, reload it, and manage experiment datasets in a
+directory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..storage.disk import DiskModel, SimulatedDisk
+from ..storage.pagefile import PointFile
+
+
+def make_point_file(points: np.ndarray,
+                    ids: Optional[np.ndarray] = None,
+                    path: Optional[str] = None,
+                    model: Optional[DiskModel] = None,
+                    batch_records: int = 65536
+                    ) -> Tuple[SimulatedDisk, PointFile]:
+    """Write a point array to a (new) simulated disk as a point file.
+
+    Returns the disk (caller owns it and must ``close()`` it) and the
+    point file.  The write accounting is reset afterwards so experiments
+    start from clean counters.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be 2-dimensional, got {pts.shape}")
+    if ids is None:
+        ids = np.arange(len(pts), dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    disk = SimulatedDisk(path=path, model=model)
+    pf = PointFile.create(disk, pts.shape[1])
+    for start in range(0, len(pts), batch_records):
+        pf.append(ids[start:start + batch_records],
+                  pts[start:start + batch_records])
+    pf.close()
+    disk.reset_accounting()
+    return disk, pf
+
+
+def load_points(path: str,
+                model: Optional[DiskModel] = None
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Load ``(ids, points)`` from a point file on disk."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    disk = SimulatedDisk(path=path, model=model)
+    try:
+        pf = PointFile.open(disk)
+        return pf.read_all()
+    finally:
+        disk.close()
+
+
+def save_points(path: str, points: np.ndarray,
+                ids: Optional[np.ndarray] = None) -> None:
+    """Save ``points`` (and optional ``ids``) as a point file at ``path``."""
+    disk, _pf = make_point_file(points, ids=ids, path=path)
+    disk.close()

@@ -1,0 +1,34 @@
+"""Index substrate: MBR geometry, R-tree, Multipage Index, ε-kdB-tree."""
+
+from .dynamic_rtree import DynamicRTree, InsertStats
+from .epskdb import (EpsKdbCacheError, EpsKdbNode, StripedDataset,
+                     build_tree)
+from .mbr import (MBR, mindist_sq_batch, mindist_sq_point_batch, union_all)
+from .msj import (LevelFile, LevelFiles, cell_at_level,
+                  level_zero_probability, point_levels)
+from .mux import Bucket, HostingPage, MultipageIndex
+from .rtree import DEFAULT_FANOUT, RTree, RTreeNode
+
+__all__ = [
+    "Bucket",
+    "DynamicRTree",
+    "InsertStats",
+    "LevelFile",
+    "LevelFiles",
+    "cell_at_level",
+    "level_zero_probability",
+    "point_levels",
+    "DEFAULT_FANOUT",
+    "EpsKdbCacheError",
+    "EpsKdbNode",
+    "HostingPage",
+    "MBR",
+    "MultipageIndex",
+    "RTree",
+    "RTreeNode",
+    "StripedDataset",
+    "build_tree",
+    "mindist_sq_batch",
+    "mindist_sq_point_batch",
+    "union_all",
+]

@@ -1,0 +1,236 @@
+"""Dynamic R-tree with Guttman insertion (quadratic split).
+
+Section 2.2 of the paper: "If no multidimensional index is available,
+it is possible to construct the index on the fly before starting the
+join algorithm.  Usually, the dynamic index construction by repeated
+insert operations performs poorly and cannot be amortized by
+performance gains during join processing."  This module provides that
+dynamically-built tree so the claim is testable: insertion cost is
+counted (node accesses, splits, MBR enlargements), and the resulting
+tree quality (leaf MBR volume, overlap) can be compared against the
+bulk-loaded :class:`~repro.index.rtree.RTree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .mbr import MBR
+
+
+@dataclass
+class InsertStats:
+    """Cost accounting of dynamic construction."""
+
+    inserts: int = 0
+    node_accesses: int = 0
+    splits: int = 0
+
+
+class _Node:
+    """Internal node; leaves hold point entries, inner nodes hold children."""
+
+    __slots__ = ("leaf", "entries", "mbr")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.entries: List = []   # leaf: (id, point); inner: _Node
+        self.mbr: Optional[MBR] = None
+
+    def recompute_mbr(self) -> None:
+        if self.leaf:
+            pts = np.array([p for _i, p in self.entries])
+            self.mbr = MBR.of_points(pts)
+        else:
+            box = self.entries[0].mbr
+            for child in self.entries[1:]:
+                box = box.union(child.mbr)
+            self.mbr = box
+
+
+class DynamicRTree:
+    """An R-tree built by repeated insertion (Guttman, quadratic split)."""
+
+    def __init__(self, dimensions: int, capacity: int = 16) -> None:
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self.dimensions = dimensions
+        self.capacity = capacity
+        self.root = _Node(leaf=True)
+        self.stats = InsertStats()
+        self.size = 0
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, point_id: int, point: np.ndarray) -> None:
+        """Insert one point (Guttman ChooseLeaf + quadratic split)."""
+        p = np.asarray(point, dtype=np.float64)
+        if p.shape != (self.dimensions,):
+            raise ValueError(
+                f"point must have shape ({self.dimensions},), got {p.shape}")
+        self.stats.inserts += 1
+        split = self._insert_into(self.root, point_id, p)
+        if split is not None:
+            old_root = self.root
+            self.root = _Node(leaf=False)
+            self.root.entries = [old_root, split]
+            self.root.recompute_mbr()
+        self.size += 1
+
+    def _insert_into(self, node: _Node, point_id: int,
+                     p: np.ndarray) -> Optional[_Node]:
+        self.stats.node_accesses += 1
+        if node.leaf:
+            node.entries.append((point_id, p))
+            node.recompute_mbr()
+            if len(node.entries) > self.capacity:
+                return self._split(node)
+            return None
+        child = self._choose_child(node, p)
+        split = self._insert_into(child, point_id, p)
+        if split is not None:
+            node.entries.append(split)
+        node.recompute_mbr()
+        if len(node.entries) > self.capacity:
+            return self._split(node)
+        return None
+
+    def _choose_child(self, node: _Node, p: np.ndarray) -> _Node:
+        """Child whose MBR needs least enlargement (ties: smaller volume)."""
+        best, best_key = None, None
+        for child in node.entries:
+            low = np.minimum(child.mbr.low, p)
+            high = np.maximum(child.mbr.high, p)
+            enlargement = float(np.prod(high - low)) - child.mbr.volume()
+            key = (enlargement, child.mbr.volume())
+            if best_key is None or key < best_key:
+                best, best_key = child, key
+        return best
+
+    def _entry_mbr(self, node: _Node, i: int) -> MBR:
+        if node.leaf:
+            _id, p = node.entries[i]
+            return MBR(p, p)
+        return node.entries[i].mbr
+
+    def _split(self, node: _Node) -> _Node:
+        """Guttman's quadratic split; returns the new sibling."""
+        self.stats.splits += 1
+        entries = node.entries
+        boxes = [self._entry_mbr(node, i) for i in range(len(entries))]
+
+        # Pick seeds: the pair wasting the most area together.
+        worst, seeds = -1.0, (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                union = boxes[i].union(boxes[j])
+                waste = union.volume() - boxes[i].volume() \
+                    - boxes[j].volume()
+                if waste > worst:
+                    worst, seeds = waste, (i, j)
+        group_a, group_b = [seeds[0]], [seeds[1]]
+        box_a, box_b = boxes[seeds[0]], boxes[seeds[1]]
+        rest = [i for i in range(len(entries)) if i not in seeds]
+        min_fill = max(1, self.capacity // 2)
+        for i in rest:
+            if len(group_a) + (len(rest) - rest.index(i)) <= min_fill:
+                group_a.append(i)
+                box_a = box_a.union(boxes[i])
+                continue
+            if len(group_b) + (len(rest) - rest.index(i)) <= min_fill:
+                group_b.append(i)
+                box_b = box_b.union(boxes[i])
+                continue
+            grow_a = box_a.union(boxes[i]).volume() - box_a.volume()
+            grow_b = box_b.union(boxes[i]).volume() - box_b.volume()
+            if (grow_a, len(group_a)) <= (grow_b, len(group_b)):
+                group_a.append(i)
+                box_a = box_a.union(boxes[i])
+            else:
+                group_b.append(i)
+                box_b = box_b.union(boxes[i])
+
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = [entries[i] for i in group_b]
+        node.entries = [entries[i] for i in group_a]
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+        return sibling
+
+    # -- queries ----------------------------------------------------------
+
+    def range_query(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Ids of all points within ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        c = np.asarray(center, dtype=np.float64)
+        r_sq = radius * radius
+        hits: List[int] = []
+        if self.size == 0:
+            return np.empty(0, dtype=np.int64)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self.stats.node_accesses += 1
+            if node.mbr is not None and \
+                    node.mbr.mindist_sq_point(c) > r_sq:
+                continue
+            if node.leaf:
+                for point_id, p in node.entries:
+                    diff = p - c
+                    if float(np.dot(diff, diff)) <= r_sq:
+                        hits.append(point_id)
+            else:
+                stack.extend(node.entries)
+        return np.array(sorted(hits), dtype=np.int64)
+
+    # -- quality metrics ---------------------------------------------------
+
+    def leaves(self) -> List[_Node]:
+        """All leaf nodes."""
+        out, stack = [], [self.root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                out.append(node)
+            else:
+                stack.extend(node.entries)
+        return out
+
+    def total_leaf_volume(self) -> float:
+        """Sum of leaf MBR volumes (lower = tighter packing)."""
+        return sum(leaf.mbr.volume() for leaf in self.leaves()
+                   if leaf.mbr is not None)
+
+    def height(self) -> int:
+        """Tree height (1 for a root-only tree)."""
+        h, node = 1, self.root
+        while not node.leaf:
+            h += 1
+            node = node.entries[0]
+        return h
+
+    def validate(self) -> None:
+        """Check MBR containment and leaf levels."""
+
+        def check(node: _Node) -> int:
+            if node.leaf:
+                for _i, p in node.entries:
+                    assert node.mbr.contains_point(p)
+                return 1
+            depths = set()
+            for child in node.entries:
+                merged = node.mbr.union(child.mbr)
+                assert np.allclose(merged.low, node.mbr.low)
+                assert np.allclose(merged.high, node.mbr.high)
+                depths.add(check(child))
+            assert len(depths) == 1, "unbalanced tree"
+            return depths.pop() + 1
+
+        if self.size:
+            check(self.root)

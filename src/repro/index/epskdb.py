@@ -1,0 +1,175 @@
+"""The ε-kdB-tree of [SSA 97].
+
+The data set is partitioned perpendicular to dimension 0 into stripes of
+width ε, restricting the join to pairs of identical or subsequent
+stripes.  Within a stripe, an in-memory ε-kdB-tree partitions the
+remaining dimensions, one per level, into ε-wide cells until a node
+capacity is reached; tree matching then only descends into identical or
+neighboring cells.
+
+The paper criticises the approach (Section 2.2): the join assumes two
+adjacent stripes fit in the cache, and on real distributions the largest
+stripe pair can be a substantial fraction of the whole database.  This
+implementation measures exactly that fraction and, matching the reported
+behaviour, refuses to run when the required stripe pair exceeds the
+cache (unless forced), which the buffer ablation benchmark exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class EpsKdbCacheError(RuntimeError):
+    """Raised when two adjacent stripes do not fit in the cache."""
+
+
+@dataclass
+class EpsKdbNode:
+    """One node of the in-memory ε-kdB-tree of a stripe.
+
+    A leaf holds point row indices; an internal node partitions its
+    points by the ε-cell of ``split_dim``.
+    """
+
+    depth: int
+    indices: Optional[np.ndarray] = None
+    split_dim: Optional[int] = None
+    children: Dict[int, "EpsKdbNode"] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node stores points directly."""
+        return self.indices is not None
+
+    def size(self) -> int:
+        """Number of points below this node."""
+        if self.is_leaf:
+            return len(self.indices)
+        return sum(child.size() for child in self.children.values())
+
+
+def build_tree(points: np.ndarray, indices: np.ndarray, epsilon: float,
+               capacity: int, depth: int = 1) -> EpsKdbNode:
+    """Recursively build the ε-kdB-tree of one stripe.
+
+    ``depth`` doubles as the partition dimension: the stripe itself
+    consumed dimension 0, levels below partition dimensions 1, 2, ….
+    Recursion stops at the node ``capacity`` or when every dimension has
+    been partitioned once, as in [SSA 97].
+    """
+    d = points.shape[1]
+    if len(indices) <= capacity or depth >= d:
+        return EpsKdbNode(depth=depth, indices=indices)
+    cells = np.floor(points[indices, depth] / epsilon).astype(np.int64)
+    node = EpsKdbNode(depth=depth, split_dim=depth)
+    for cell in np.unique(cells):
+        sub = indices[cells == cell]
+        node.children[int(cell)] = build_tree(points, sub, epsilon,
+                                              capacity, depth + 1)
+    return node
+
+
+class StripedDataset:
+    """A point set partitioned into ε-stripes along dimension 0."""
+
+    def __init__(self, ids: np.ndarray, points: np.ndarray,
+                 epsilon: float) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        ids = np.asarray(ids, dtype=np.int64)
+        pts = np.asarray(points, dtype=np.float64)
+        stripe_of = np.floor(pts[:, 0] / epsilon).astype(np.int64)
+        order = np.argsort(stripe_of, kind="stable")
+        self.ids = ids[order]
+        self.points = pts[order]
+        self.epsilon = float(epsilon)
+        stripes = stripe_of[order]
+        self.stripe_keys, starts = np.unique(stripes, return_index=True)
+        bounds = list(starts) + [len(pts)]
+        self.stripe_ranges: List[Tuple[int, int]] = [
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(len(self.stripe_keys))]
+
+    @property
+    def num_stripes(self) -> int:
+        """Number of non-empty stripes."""
+        return len(self.stripe_keys)
+
+    def stripe_size(self, i: int) -> int:
+        """Number of points in the i-th non-empty stripe."""
+        first, last = self.stripe_ranges[i]
+        return last - first
+
+    def stripe_slice(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ids, points)`` views of the i-th non-empty stripe."""
+        first, last = self.stripe_ranges[i]
+        return self.ids[first:last], self.points[first:last]
+
+    def adjacent(self, i: int, j: int) -> bool:
+        """True when stripes i and j are identical or subsequent."""
+        return abs(int(self.stripe_keys[i]) - int(self.stripe_keys[j])) <= 1
+
+    def max_pair_fraction(self) -> float:
+        """Largest fraction of the data set two adjacent stripes occupy.
+
+        This is the cache requirement the paper criticises: [BK 01]
+        measured about 60 % for 8-dimensional artificial data and stripes
+        of 35 % for real meteorology data.
+        """
+        n = len(self.ids)
+        if n == 0:
+            return 0.0
+        worst = max(self.stripe_size(i) for i in range(self.num_stripes))
+        for i in range(self.num_stripes - 1):
+            if self.adjacent(i, i + 1):
+                worst = max(worst,
+                            self.stripe_size(i) + self.stripe_size(i + 1))
+        return worst / n
+
+    def check_cache(self, cache_records: int) -> None:
+        """Raise :class:`EpsKdbCacheError` if a stripe pair exceeds the cache."""
+        n = len(self.ids)
+        worst = int(round(self.max_pair_fraction() * n))
+        if worst > cache_records:
+            raise EpsKdbCacheError(
+                f"adjacent stripes need {worst} records in cache but only "
+                f"{cache_records} are available "
+                f"({worst / max(n, 1):.0%} of the database)")
+
+    def max_quad_fraction(self) -> float:
+        """Cache requirement of the multi-scan extension of [SSA 97].
+
+        The paper: "the authors of the ε-kdB-tree have also proposed an
+        extension … which does not perform a single database scan but
+        reads parts of the database multiple times according to a
+        complex scheduling pattern.  Applying this extension, however,
+        reduced the required cache size merely from 60 % to 36 %."
+
+        The extension sub-partitions each stripe at dimension 1 into
+        ε-columns and schedules over 2 × 2 adjacent blocks; the resident
+        requirement is therefore the largest such quad, measured here as
+        a fraction of the database.
+        """
+        n = len(self.ids)
+        if n == 0:
+            return 0.0
+        # Occupancy per (stripe, dim-1 cell).
+        from collections import Counter
+        quad: Counter = Counter()
+        for i in range(self.num_stripes):
+            _ids, pts = self.stripe_slice(i)
+            cols = np.floor(pts[:, 1] / self.epsilon).astype(np.int64) \
+                if pts.shape[1] > 1 else np.zeros(len(pts), dtype=np.int64)
+            key0 = int(self.stripe_keys[i])
+            for c, cnt in zip(*np.unique(cols, return_counts=True)):
+                quad[(key0, int(c))] = int(cnt)
+        worst = 0
+        for (s, c), _cnt in quad.items():
+            total = sum(quad.get((s + ds, c + dc), 0)
+                        for ds in (0, 1) for dc in (0, 1))
+            worst = max(worst, total)
+        return worst / n

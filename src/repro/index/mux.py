@@ -1,0 +1,145 @@
+"""The Multipage Index (MuX) of [BK 01].
+
+MuX decouples the page-size optimisation conflict between I/O and CPU:
+large **hosting pages** (optimised for disk transfer) accommodate many
+small **buckets** (optimised for CPU) whose MBRs are stored inside the
+hosting page.  A join loads hosting pages (few, large I/Os) but compares
+points only between bucket pairs whose MBR mindist is within ε (little
+CPU).
+
+The paper notes the storage overhead of the accommodated buckets: every
+bucket MBR occupies room in its hosting page, so decreasing the bucket
+capacity for CPU performance costs data capacity.  The bulk loader
+charges that overhead by reducing the records per page accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..storage.buffer import BufferPool
+from ..storage.disk import SimulatedDisk
+from ..storage.pagefile import PointFile
+from .mbr import MBR, union_all
+from .rtree import RTreeNode, RTree, _curve_order, DEFAULT_FANOUT
+
+
+@dataclass
+class Bucket:
+    """A CPU-optimised bucket: a record range inside its hosting page."""
+
+    first: int
+    last: int
+    mbr: MBR
+
+    def __len__(self) -> int:
+        return self.last - self.first
+
+
+@dataclass
+class HostingPage:
+    """An I/O-optimised page holding several buckets."""
+
+    page_no: int
+    first: int
+    last: int
+    mbr: MBR
+    buckets: List[Bucket] = field(default_factory=list)
+    bucket_lows: np.ndarray = None
+    bucket_highs: np.ndarray = None
+
+    def __len__(self) -> int:
+        return self.last - self.first
+
+
+class MultipageIndex:
+    """A bulk-loaded Multipage Index with disk-resident hosting pages."""
+
+    def __init__(self, leaf_file: PointFile, pages: List[HostingPage],
+                 root: RTreeNode, records_per_page: int) -> None:
+        self.leaf_file = leaf_file
+        self.pages = pages
+        self.root = root
+        self.records_per_page = records_per_page
+
+    @classmethod
+    def bulk_load(cls, ids: np.ndarray, points: np.ndarray,
+                  disk: SimulatedDisk, page_bytes: int, bucket_records: int,
+                  fanout: int = DEFAULT_FANOUT,
+                  order: str = "zorder") -> "MultipageIndex":
+        """Build a MuX on ``disk``.
+
+        ``page_bytes`` is the hosting page size; the number of point
+        records per page is reduced by the space the accommodated bucket
+        MBRs take (two ``d``-dimensional float vectors per bucket).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        pts = np.asarray(points, dtype=np.float64)
+        if len(pts) == 0:
+            raise ValueError("cannot bulk-load an empty point set")
+        if bucket_records < 1:
+            raise ValueError("bucket_records must be at least 1")
+        d = pts.shape[1]
+        record_bytes = 8 * (d + 1)
+        mbr_bytes = 2 * 8 * d
+        # records r and buckets ceil(r / bucket_records) must fit the page:
+        # r * record_bytes + ceil(r / b) * mbr_bytes <= page_bytes.
+        per_record = record_bytes + mbr_bytes / bucket_records
+        records_per_page = int(page_bytes / per_record)
+        if records_per_page < 1:
+            raise ValueError(
+                f"page of {page_bytes} bytes cannot hold any "
+                f"{record_bytes}-byte record plus bucket MBRs")
+
+        perm = _curve_order(pts, order) if order != "none" else np.arange(len(pts))
+        ids, pts = ids[perm], pts[perm]
+
+        leaf_file = PointFile.create(disk, d)
+        leaf_file.append(ids, pts)
+        leaf_file.close()
+
+        pages: List[HostingPage] = []
+        for page_no, start in enumerate(range(0, len(pts), records_per_page)):
+            end = min(start + records_per_page, len(pts))
+            buckets = []
+            for b_start in range(start, end, bucket_records):
+                b_end = min(b_start + bucket_records, end)
+                buckets.append(Bucket(b_start, b_end,
+                                      MBR.of_points(pts[b_start:b_end])))
+            page = HostingPage(
+                page_no=page_no, first=start, last=end,
+                mbr=union_all(b.mbr for b in buckets), buckets=buckets)
+            page.bucket_lows = np.array([b.mbr.low for b in buckets])
+            page.bucket_highs = np.array([b.mbr.high for b in buckets])
+            pages.append(page)
+
+        leaf_nodes = [RTreeNode(mbr=p.mbr, level=0, leaf_page=p.page_no)
+                      for p in pages]
+        root = RTree._pack_directory(leaf_nodes, fanout)
+        return cls(leaf_file, pages, root, records_per_page)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of hosting pages."""
+        return len(self.pages)
+
+    def read_page(self, page_no: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Read one hosting page from disk (one large access)."""
+        page = self.pages[page_no]
+        return self.leaf_file.read_range(page.first, len(page))
+
+    def make_page_pool(self, capacity: int) -> BufferPool:
+        """An LRU buffer pool over the hosting pages."""
+        return BufferPool(capacity, self.read_page)
+
+    def storage_overhead_fraction(self) -> float:
+        """Fraction of page space spent on accommodated bucket MBRs."""
+        d = self.leaf_file.dimensions
+        record_bytes = 8 * (d + 1)
+        mbr_bytes = 2 * 8 * d
+        data = sum(len(p) for p in self.pages) * record_bytes
+        overhead = sum(len(p.buckets) for p in self.pages) * mbr_bytes
+        return overhead / (data + overhead)

@@ -1,0 +1,33 @@
+"""Similarity-join algorithms: EGO's competitors and references."""
+
+from .base import DiskTracker, JoinReport, compare_blocks, wall_clock
+from .brute import brute_force_join, brute_force_self_join
+from .epskdb_join import DEFAULT_NODE_CAPACITY, epskdb_self_join
+from .grid_hash import grid_hash_self_join, grid_prefix_dimensions
+from .msj_join import msj_self_join
+from .mux_join import mux_self_join
+from .spatial_hash import (DEFAULT_BUCKET_CAPACITY, spatial_hash_self_join)
+from .nested_loop import nested_loop_self_join_file
+from .rsj import rsj_join, rsj_self_join
+from .zorder_rsj import zorder_rsj_self_join
+
+__all__ = [
+    "DEFAULT_NODE_CAPACITY",
+    "DiskTracker",
+    "JoinReport",
+    "brute_force_join",
+    "brute_force_self_join",
+    "compare_blocks",
+    "epskdb_self_join",
+    "grid_hash_self_join",
+    "grid_prefix_dimensions",
+    "msj_self_join",
+    "mux_self_join",
+    "spatial_hash_self_join",
+    "DEFAULT_BUCKET_CAPACITY",
+    "nested_loop_self_join_file",
+    "rsj_join",
+    "rsj_self_join",
+    "wall_clock",
+    "zorder_rsj_self_join",
+]

@@ -1,0 +1,87 @@
+"""Brute-force similarity join: the correctness reference.
+
+Compares every point pair with chunked numpy arithmetic.  O(n·m) work
+and no pruning of any kind — this is the ground truth every other join
+is tested against, and (with I/O accounting added by
+:mod:`repro.joins.nested_loop`) the basis of the paper's nested-loop
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.ego_order import validate_epsilon
+from ..core.result import JoinResult
+
+
+def brute_force_self_join(points: np.ndarray, epsilon: float,
+                          ids: Optional[np.ndarray] = None,
+                          chunk: int = 1024,
+                          result: Optional[JoinResult] = None) -> JoinResult:
+    """All unordered pairs of distinct points within ``epsilon``."""
+    eps = validate_epsilon(epsilon)
+    pts = np.asarray(points, dtype=np.float64)
+    if ids is None:
+        ids = np.arange(len(pts), dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    if result is None:
+        result = JoinResult()
+    eps_sq = eps * eps
+    n = len(pts)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        block = pts[start:stop]
+        # Pairs inside the block (upper triangle).
+        diff = block[:, None, :] - block[None, :, :]
+        d2 = np.einsum("ijk,ijk->ij", diff, diff)
+        ia, ib = np.nonzero(np.triu(d2 <= eps_sq, k=1))
+        if len(ia):
+            result.add_batch(ids[start + ia], ids[start + ib])
+        # Pairs between this block and everything after it.
+        for other in range(stop, n, chunk):
+            other_stop = min(other + chunk, n)
+            rest = pts[other:other_stop]
+            diff = block[:, None, :] - rest[None, :, :]
+            d2 = np.einsum("ijk,ijk->ij", diff, diff)
+            ia, ib = np.nonzero(d2 <= eps_sq)
+            if len(ia):
+                result.add_batch(ids[start + ia], ids[other + ib])
+    return result
+
+
+def brute_force_join(points_r: np.ndarray, points_s: np.ndarray,
+                     epsilon: float,
+                     ids_r: Optional[np.ndarray] = None,
+                     ids_s: Optional[np.ndarray] = None,
+                     chunk: int = 1024,
+                     result: Optional[JoinResult] = None) -> JoinResult:
+    """All pairs ``(r, s)`` within ``epsilon`` between two point sets."""
+    eps = validate_epsilon(epsilon)
+    r = np.asarray(points_r, dtype=np.float64)
+    s = np.asarray(points_s, dtype=np.float64)
+    if r.ndim != 2 or s.ndim != 2 or (len(r) and len(s)
+                                      and r.shape[1] != s.shape[1]):
+        raise ValueError("point sets must be 2-d arrays of equal dimension")
+    if ids_r is None:
+        ids_r = np.arange(len(r), dtype=np.int64)
+    if ids_s is None:
+        ids_s = np.arange(len(s), dtype=np.int64)
+    ids_r = np.asarray(ids_r, dtype=np.int64)
+    ids_s = np.asarray(ids_s, dtype=np.int64)
+    if result is None:
+        result = JoinResult()
+    eps_sq = eps * eps
+    for start in range(0, len(r), chunk):
+        block = r[start:start + chunk]
+        for other in range(0, len(s), chunk):
+            rest = s[other:other + chunk]
+            diff = block[:, None, :] - rest[None, :, :]
+            d2 = np.einsum("ijk,ijk->ij", diff, diff)
+            ia, ib = np.nonzero(d2 <= eps_sq)
+            if len(ia):
+                result.add_batch(ids_r[start + ia], ids_s[other + ib])
+    return result

@@ -1,0 +1,165 @@
+"""Similarity self-join over the ε-kdB-tree [SSA 97].
+
+Dimension 0 is partitioned into ε-stripes; the join is restricted to
+identical and subsequent stripes, each of which carries an in-memory
+ε-kdB-tree over the remaining dimensions.  Tree matching descends only
+into identical or neighboring ε-cells.
+
+The join assumes two adjacent stripes fit in the cache — the scalability
+limitation Section 2.2 of the paper dwells on.  ``cache_records``
+enforces it: the join raises
+:class:`~repro.index.epskdb.EpsKdbCacheError` when the requirement is
+violated, unless ``force=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.ego_order import validate_epsilon
+from ..core.result import JoinResult
+from ..index.epskdb import EpsKdbNode, StripedDataset, build_tree
+from ..storage.pagefile import PointFile
+from .base import DiskTracker, JoinReport, compare_blocks, wall_clock
+
+DEFAULT_NODE_CAPACITY = 64
+
+
+class _StripeJoiner:
+    """Tree matching between (possibly identical) stripe trees."""
+
+    def __init__(self, points_a: np.ndarray, ids_a: np.ndarray,
+                 points_b: np.ndarray, ids_b: np.ndarray,
+                 epsilon: float, eps_sq: float, result: JoinResult,
+                 report: JoinReport) -> None:
+        self.points_a = points_a
+        self.ids_a = ids_a
+        self.points_b = points_b
+        self.ids_b = ids_b
+        self.epsilon = epsilon
+        self.eps_sq = eps_sq
+        self.result = result
+        self.report = report
+
+    def _leaf_pair(self, a: EpsKdbNode, b: EpsKdbNode, same: bool) -> None:
+        ia, ib = a.indices, b.indices
+        compare_blocks(self.ids_a[ia], self.points_a[ia],
+                       self.ids_b[ib], self.points_b[ib],
+                       self.eps_sq, self.result, cpu=self.report.cpu,
+                       upper_triangle=same)
+
+    def _cell_span(self, points: np.ndarray, indices: np.ndarray,
+                   dim: int) -> range:
+        """Cells the given points may join in ``dim`` (their span ± 1)."""
+        coords = points[indices, dim]
+        lo = int(np.floor(coords.min() / self.epsilon))
+        hi = int(np.floor(coords.max() / self.epsilon))
+        return range(lo - 1, hi + 2)
+
+    def _leaf_indices(self, node: EpsKdbNode) -> np.ndarray:
+        if node.is_leaf:
+            return node.indices
+        return np.concatenate(
+            [self._leaf_indices(c) for c in node.children.values()])
+
+    def match(self, a: EpsKdbNode, b: EpsKdbNode, same: bool) -> None:
+        """Recursive match of two stripe-tree nodes."""
+        if a.is_leaf and b.is_leaf:
+            self._leaf_pair(a, b, same)
+            return
+        if a.is_leaf:
+            span = self._cell_span(self.points_a, a.indices, b.split_dim)
+            for cell, child in b.children.items():
+                if cell in span:
+                    self.match(a, child, False)
+            return
+        if b.is_leaf:
+            span = self._cell_span(self.points_b, b.indices, a.split_dim)
+            for cell, child in a.children.items():
+                if cell in span:
+                    self.match(child, b, False)
+            return
+        # Both internal; synchronous descent means equal split dimensions.
+        for cell_a, child_a in a.children.items():
+            for offset in (-1, 0, 1):
+                cell_b = cell_a + offset
+                child_b = b.children.get(cell_b)
+                if child_b is None:
+                    continue
+                if same:
+                    # Each unordered cell pair once; the identical cell
+                    # continues as a self-match.
+                    if cell_b < cell_a:
+                        continue
+                    self.match(child_a, child_b, cell_b == cell_a)
+                else:
+                    self.match(child_a, child_b, False)
+
+
+def epskdb_self_join(ids: np.ndarray, points: np.ndarray, epsilon: float,
+                     cache_records: Optional[int] = None,
+                     node_capacity: int = DEFAULT_NODE_CAPACITY,
+                     force: bool = False,
+                     input_file: Optional[PointFile] = None,
+                     materialize: bool = True) -> JoinReport:
+    """ε-kdB-tree similarity self-join.
+
+    Parameters
+    ----------
+    cache_records:
+        Available cache size in records.  The join refuses to run when
+        two adjacent stripes exceed it (the paper's §2.2 failure mode)
+        unless ``force`` is set.
+    input_file:
+        When given, one sequential scan of the file is charged as the
+        join's I/O (the single-pass assumption of [SSA 97]).
+    """
+    eps = validate_epsilon(epsilon)
+    eps_sq = eps * eps
+    result = JoinResult(materialize=materialize)
+    report = JoinReport(algorithm="eps-kdb", result=result)
+
+    striped = StripedDataset(ids, points, eps)
+    report.extra["max_pair_fraction"] = striped.max_pair_fraction()
+    report.extra["num_stripes"] = striped.num_stripes
+    if cache_records is not None and not force:
+        striped.check_cache(cache_records)
+
+    tracker = None
+    if input_file is not None:
+        tracker = DiskTracker(input_file.disk)
+
+    with wall_clock(report):
+        if input_file is not None:
+            for _chunk in input_file.iter_chunks(
+                    max(1, cache_records or input_file.count)):
+                pass
+        trees = {}
+
+        def stripe_tree(i: int) -> EpsKdbNode:
+            if i not in trees:
+                _sids, spts = striped.stripe_slice(i)
+                trees[i] = build_tree(spts, np.arange(len(spts)), eps,
+                                      node_capacity)
+            return trees[i]
+
+        for i in range(striped.num_stripes):
+            ids_i, pts_i = striped.stripe_slice(i)
+            tree_i = stripe_tree(i)
+            joiner = _StripeJoiner(pts_i, ids_i, pts_i, ids_i, eps, eps_sq,
+                                   result, report)
+            joiner.match(tree_i, tree_i, True)
+            if i + 1 < striped.num_stripes and striped.adjacent(i, i + 1):
+                ids_j, pts_j = striped.stripe_slice(i + 1)
+                tree_j = stripe_tree(i + 1)
+                cross = _StripeJoiner(pts_i, ids_i, pts_j, ids_j, eps,
+                                      eps_sq, result, report)
+                cross.match(tree_i, tree_j, False)
+            # Emulate the two-stripe cache: older trees are dropped.
+            trees.pop(i - 1, None)
+    if tracker is not None:
+        report.io = tracker.io_delta()
+        report.simulated_io_time_s = tracker.time_delta()
+    return report

@@ -1,0 +1,125 @@
+"""R-tree Spatial Join (RSJ) adapted to distance predicates [BKS 93].
+
+The indexes of both inputs are traversed synchronously, depth first: a
+pair of directory nodes is expanded only if the minimum distance between
+their MBRs does not exceed ε (the lower bounding property).  At the leaf
+level, pages are fetched through a shared LRU buffer and the points are
+compared exhaustively.
+
+Depth-first traversal gives RSJ its characteristically scattered leaf
+access pattern; the Z-order optimisation of
+:mod:`repro.joins.zorder_rsj` addresses exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.ego_order import validate_epsilon
+from ..core.result import JoinResult
+from ..index.rtree import RTree, RTreeNode
+from .base import DiskTracker, JoinReport, compare_blocks, wall_clock
+
+
+def _mindist_ok(a: RTreeNode, b: RTreeNode, eps_sq: float,
+                report: JoinReport) -> bool:
+    report.cpu.mbr_tests += 1
+    return a.mbr.mindist_sq(b.mbr) <= eps_sq
+
+
+def _expand_pair(a: RTreeNode, b: RTreeNode,
+                 same: bool) -> List[Tuple[RTreeNode, RTreeNode, bool]]:
+    """Child pairs of a qualifying node pair.
+
+    ``same`` marks the pair of a node with itself in a self-join; child
+    pairs are then generated without mirrored duplicates.
+    """
+    if same:
+        kids = a.children
+        out = []
+        for i, ci in enumerate(kids):
+            out.append((ci, ci, True))
+            for cj in kids[i + 1:]:
+                out.append((ci, cj, False))
+        return out
+    # Descend on the side with the higher level (or both when equal).
+    if a.level == b.level:
+        return [(ca, cb, False) for ca in a.children for cb in b.children]
+    if a.level > b.level:
+        return [(ca, b, False) for ca in a.children]
+    return [(a, cb, False) for cb in b.children]
+
+
+def rsj_self_join(tree: RTree, epsilon: float, pool_pages: int,
+                  materialize: bool = True) -> JoinReport:
+    """Depth-first RSJ similarity self-join over one R-tree."""
+    eps = validate_epsilon(epsilon)
+    eps_sq = eps * eps
+    result = JoinResult(materialize=materialize)
+    report = JoinReport(algorithm="rsj", result=result)
+    pool = tree.make_leaf_pool(pool_pages)
+    tracker = DiskTracker(tree.leaf_file.disk)
+
+    with wall_clock(report):
+        stack: List[Tuple[RTreeNode, RTreeNode, bool]] = [
+            (tree.root, tree.root, True)]
+        while stack:
+            a, b, same = stack.pop()
+            if not same and not _mindist_ok(a, b, eps_sq, report):
+                continue
+            if a.is_leaf and b.is_leaf:
+                ids_a, pts_a = pool.get(a.leaf_page)
+                if same:
+                    compare_blocks(ids_a, pts_a, ids_a, pts_a, eps_sq,
+                                   result, cpu=report.cpu,
+                                   upper_triangle=True)
+                else:
+                    ids_b, pts_b = pool.get(b.leaf_page)
+                    compare_blocks(ids_a, pts_a, ids_b, pts_b, eps_sq,
+                                   result, cpu=report.cpu)
+                continue
+            if a.is_leaf or b.is_leaf:
+                # Mixed pair: descend on the internal side.
+                if a.is_leaf:
+                    stack.extend((a, cb, False) for cb in b.children)
+                else:
+                    stack.extend((ca, b, False) for ca in a.children)
+                continue
+            stack.extend(_expand_pair(a, b, same))
+    report.io = tracker.io_delta()
+    report.simulated_io_time_s = tracker.time_delta()
+    report.extra["buffer_hits"] = pool.stats.hits
+    report.extra["buffer_misses"] = pool.stats.misses
+    return report
+
+
+def rsj_join(tree_r: RTree, tree_s: RTree, epsilon: float, pool_pages: int,
+             materialize: bool = True) -> JoinReport:
+    """Depth-first RSJ similarity join of two R-trees."""
+    eps = validate_epsilon(epsilon)
+    eps_sq = eps * eps
+    result = JoinResult(materialize=materialize)
+    report = JoinReport(algorithm="rsj", result=result)
+    pool_r = tree_r.make_leaf_pool(max(1, pool_pages // 2))
+    pool_s = tree_s.make_leaf_pool(max(1, pool_pages - pool_pages // 2))
+    tracker = DiskTracker(tree_r.leaf_file.disk, tree_s.leaf_file.disk)
+
+    with wall_clock(report):
+        stack: List[Tuple[RTreeNode, RTreeNode]] = [(tree_r.root,
+                                                     tree_s.root)]
+        while stack:
+            a, b = stack.pop()
+            if not _mindist_ok(a, b, eps_sq, report):
+                continue
+            if a.is_leaf and b.is_leaf:
+                ids_a, pts_a = pool_r.get(a.leaf_page)
+                ids_b, pts_b = pool_s.get(b.leaf_page)
+                compare_blocks(ids_a, pts_a, ids_b, pts_b, eps_sq, result,
+                               cpu=report.cpu)
+            elif b.is_leaf or (not a.is_leaf and a.level >= b.level):
+                stack.extend((ca, b) for ca in a.children)
+            else:
+                stack.extend((a, cb) for cb in b.children)
+    report.io = tracker.io_delta()
+    report.simulated_io_time_s = tracker.time_delta()
+    return report

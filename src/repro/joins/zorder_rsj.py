@@ -1,0 +1,115 @@
+"""RSJ with Z-ordering optimisation (≈ BFRJ [HJR 97]).
+
+The paper's strongest R-tree competitor: the indexes are traversed
+breadth-first, producing an intermediate join index per level, and the
+page accesses of the final level are globally re-ordered by the Z-order
+of the page regions.  The reordering turns the scattered leaf accesses
+of depth-first RSJ into a locality-friendly schedule, which the paper
+credits with ~50 % speed-ups.
+
+Implementation: the (in-memory) directories are swept level by level to
+the qualifying leaf-page pair list; the pairs are then sorted by the
+Morton code of the page centres and streamed through the LRU leaf
+buffer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.ego_order import validate_epsilon
+from ..core.result import JoinResult
+from ..curves.zorder import morton_key_columns, normalize_cells, required_bits
+from ..index.rtree import RTree, RTreeNode
+from .base import DiskTracker, JoinReport, compare_blocks, wall_clock
+
+
+def _leaf_pairs_breadth_first(root: RTreeNode, eps_sq: float,
+                              report: JoinReport
+                              ) -> List[Tuple[RTreeNode, RTreeNode, bool]]:
+    """Qualifying leaf pairs via level-wise (BFRJ-style) expansion."""
+    level: List[Tuple[RTreeNode, RTreeNode, bool]] = [(root, root, True)]
+    leaf_pairs: List[Tuple[RTreeNode, RTreeNode, bool]] = []
+    while level:
+        next_level: List[Tuple[RTreeNode, RTreeNode, bool]] = []
+        for a, b, same in level:
+            if not same:
+                report.cpu.mbr_tests += 1
+                if a.mbr.mindist_sq(b.mbr) > eps_sq:
+                    continue
+            if a.is_leaf and b.is_leaf:
+                leaf_pairs.append((a, b, same))
+            elif a.is_leaf:
+                next_level.extend((a, cb, False) for cb in b.children)
+            elif b.is_leaf:
+                next_level.extend((ca, b, False) for ca in a.children)
+            elif same:
+                kids = a.children
+                for i, ci in enumerate(kids):
+                    next_level.append((ci, ci, True))
+                    next_level.extend((ci, cj, False)
+                                      for cj in kids[i + 1:])
+            elif a.level > b.level:
+                next_level.extend((ca, b, False) for ca in a.children)
+            elif b.level > a.level:
+                next_level.extend((a, cb, False) for cb in b.children)
+            else:
+                next_level.extend((ca, cb, False)
+                                  for ca in a.children for cb in b.children)
+        level = next_level
+    return leaf_pairs
+
+
+def _zorder_of_pages(tree: RTree, resolution: int = 1024) -> np.ndarray:
+    """Morton rank of every leaf page, computed from the page centres."""
+    centers = np.array([node.mbr.center for node in tree.leaf_nodes])
+    span = centers.max(axis=0) - centers.min(axis=0)
+    span[span == 0] = 1.0
+    scaled = (centers - centers.min(axis=0)) / span * (resolution - 1)
+    cells = normalize_cells(scaled.astype(np.int64))
+    bits = max(1, required_bits(cells))
+    keys = morton_key_columns(cells, bits)
+    columns = [keys[:, j] for j in range(keys.shape[1] - 1, -1, -1)]
+    order = np.lexsort(columns)
+    ranks = np.empty(len(order), dtype=np.int64)
+    ranks[order] = np.arange(len(order))
+    return ranks
+
+
+def zorder_rsj_self_join(tree: RTree, epsilon: float, pool_pages: int,
+                         materialize: bool = True) -> JoinReport:
+    """Z-Order-RSJ similarity self-join over one R-tree."""
+    eps = validate_epsilon(epsilon)
+    eps_sq = eps * eps
+    result = JoinResult(materialize=materialize)
+    report = JoinReport(algorithm="zorder-rsj", result=result)
+    pool = tree.make_leaf_pool(pool_pages)
+    tracker = DiskTracker(tree.leaf_file.disk)
+
+    with wall_clock(report):
+        leaf_pairs = _leaf_pairs_breadth_first(tree.root, eps_sq, report)
+        ranks = _zorder_of_pages(tree)
+
+        def schedule_key(pair):
+            a, b, _same = pair
+            ra, rb = ranks[a.leaf_page], ranks[b.leaf_page]
+            return (min(ra, rb), max(ra, rb))
+
+        leaf_pairs.sort(key=schedule_key)
+        report.extra["leaf_pairs"] = len(leaf_pairs)
+        for a, b, same in leaf_pairs:
+            ids_a, pts_a = pool.get(a.leaf_page)
+            if same:
+                compare_blocks(ids_a, pts_a, ids_a, pts_a, eps_sq, result,
+                               cpu=report.cpu, upper_triangle=True)
+            else:
+                ids_b, pts_b = pool.get(b.leaf_page)
+                compare_blocks(ids_a, pts_a, ids_b, pts_b, eps_sq, result,
+                               cpu=report.cpu)
+    report.io = tracker.io_delta()
+    report.simulated_io_time_s = tracker.time_delta()
+    report.extra["buffer_hits"] = pool.stats.hits
+    report.extra["buffer_misses"] = pool.stats.misses
+    return report

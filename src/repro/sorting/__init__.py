@@ -1,0 +1,5 @@
+"""External sorting of point files."""
+
+from .external_sort import KeyFunction, SortStats, external_sort
+
+__all__ = ["KeyFunction", "SortStats", "external_sort"]

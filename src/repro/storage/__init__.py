@@ -1,0 +1,29 @@
+"""Storage substrate: simulated disk, record files, I/O units, buffers."""
+
+from .buffer import BufferFullError, BufferPool, BufferStats, Frame
+from .disk import DiskModel, SimulatedDisk
+from .pagefile import (HEADER_SIZE, PointFile, SequentialReader,
+                       SequentialWriter)
+from .pairfile import PairFile, SpillingCollector
+from .records import RecordCodec, record_size
+from .stats import CPUCounters, IOCounters, OperationStats
+
+__all__ = [
+    "BufferFullError",
+    "BufferPool",
+    "BufferStats",
+    "CPUCounters",
+    "DiskModel",
+    "Frame",
+    "HEADER_SIZE",
+    "IOCounters",
+    "OperationStats",
+    "PairFile",
+    "SpillingCollector",
+    "PointFile",
+    "RecordCodec",
+    "SequentialReader",
+    "SequentialWriter",
+    "SimulatedDisk",
+    "record_size",
+]

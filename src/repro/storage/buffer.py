@@ -1,0 +1,160 @@
+"""Buffer management: an LRU pool of loaded pages with pinning.
+
+Used in two ways:
+
+* the EGO scheduler (Figure 4 of the paper) manages frames explicitly —
+  it discards buffers whose ε-interval has passed, loads units in gallop
+  mode, and pins a window of units in crabstep mode;
+* the index-based competitor joins use the pool transparently via
+  :meth:`BufferPool.get`, relying on LRU replacement, which is exactly the
+  configuration under which the paper demonstrates gallop-mode thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Hashable, List, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class BufferFullError(RuntimeError):
+    """Raised when every frame is pinned and a new page must be loaded."""
+
+
+@dataclass
+class Frame(Generic[K, V]):
+    """One buffer frame holding a loaded page."""
+
+    key: K
+    value: V
+    pinned: bool = False
+    last_used: int = 0
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss accounting for one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class BufferPool(Generic[K, V]):
+    """Fixed-capacity page buffer with LRU replacement and pinning.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident frames.
+    loader:
+        Callback invoked on a miss to fetch the page for a key (it is the
+        loader that touches the disk, so misses are what cost I/O).
+    """
+
+    def __init__(self, capacity: int, loader: Callable[[K], V]) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.loader = loader
+        self.stats = BufferStats()
+        self._frames: Dict[K, Frame[K, V]] = {}
+        self._clock = 0
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._frames
+
+    @property
+    def resident_keys(self) -> List[K]:
+        """Keys currently buffered, oldest use first."""
+        return [f.key for f in
+                sorted(self._frames.values(), key=lambda f: f.last_used)]
+
+    @property
+    def frames(self) -> List[Frame[K, V]]:
+        """Resident frames, oldest use first."""
+        return sorted(self._frames.values(), key=lambda f: f.last_used)
+
+    def pinned_frames(self) -> List[Frame[K, V]]:
+        """Resident frames that are pinned, oldest use first."""
+        return [f for f in self.frames if f.pinned]
+
+    def free_frames(self) -> int:
+        """Number of frames that could be filled without evicting a pin."""
+        unpinned = sum(1 for f in self._frames.values() if not f.pinned)
+        return (self.capacity - len(self._frames)) + unpinned
+
+    def has_empty_frame(self) -> bool:
+        """True if a page can be loaded without evicting anything."""
+        return len(self._frames) < self.capacity
+
+    # -- core operations ------------------------------------------------------
+
+    def _touch(self, frame: Frame[K, V]) -> None:
+        self._clock += 1
+        frame.last_used = self._clock
+
+    def _evict_one(self) -> None:
+        victims = [f for f in self._frames.values() if not f.pinned]
+        if not victims:
+            raise BufferFullError(
+                "all frames are pinned; cannot load a new page")
+        victim = min(victims, key=lambda f: f.last_used)
+        del self._frames[victim.key]
+        self.stats.evictions += 1
+
+    def get(self, key: K, pin: bool = False) -> V:
+        """Return the page for ``key``, loading (and possibly evicting) on miss."""
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.hits += 1
+            self._touch(frame)
+            if pin:
+                frame.pinned = True
+            return frame.value
+        self.stats.misses += 1
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        value = self.loader(key)
+        frame = Frame(key=key, value=value, pinned=pin)
+        self._touch(frame)
+        self._frames[key] = frame
+        return value
+
+    def peek(self, key: K) -> Frame[K, V]:
+        """Return the resident frame for ``key`` without touching LRU state."""
+        return self._frames[key]
+
+    def pin(self, key: K) -> None:
+        """Pin a resident page so it cannot be evicted."""
+        self._frames[key].pinned = True
+
+    def unpin(self, key: K) -> None:
+        """Remove the pin from a resident page."""
+        self._frames[key].pinned = False
+
+    def unpin_all(self) -> None:
+        """Remove the pins from every resident page."""
+        for frame in self._frames.values():
+            frame.pinned = False
+
+    def discard(self, key: K) -> None:
+        """Drop a resident page (no-op if absent); pins do not protect it."""
+        self._frames.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every resident page."""
+        self._frames.clear()

@@ -1,0 +1,184 @@
+"""Disk-backed join-result storage.
+
+At the paper's scale the join result can be far larger than main memory
+(every point may have several ε-neighbours), so materialising pairs in
+RAM is not always an option.  A :class:`PairFile` stores result pairs —
+optionally with their distances — as fixed-width records on a simulated
+disk, with buffered sequential writes; a :class:`SpillingCollector`
+plugs it into :class:`~repro.core.result.JoinResult` as a callback, so
+any join can stream its result to disk with bounded memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .disk import SimulatedDisk
+
+PAIR_MAGIC = b"REPROPRS"
+PAIR_HEADER_SIZE = 32
+_PAIR_HEADER = struct.Struct("<8sIIQQ")
+_PAIR_VERSION = 1
+
+
+class PairFile:
+    """A headered file of (id_a, id_b[, distance]) records."""
+
+    def __init__(self, disk: SimulatedDisk, count: int,
+                 with_distances: bool) -> None:
+        self.disk = disk
+        self.count = count
+        self.with_distances = with_distances
+
+    @property
+    def record_bytes(self) -> int:
+        """Width of one encoded pair record."""
+        return 24 if self.with_distances else 16
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, disk: SimulatedDisk,
+               with_distances: bool = False) -> "PairFile":
+        """Initialise ``disk`` with an empty pair file."""
+        pf = cls(disk, count=0, with_distances=with_distances)
+        disk.truncate(0)
+        pf.flush_header()
+        return pf
+
+    @classmethod
+    def open(cls, disk: SimulatedDisk) -> "PairFile":
+        """Open the pair file already present on ``disk``."""
+        raw = disk.read(0, PAIR_HEADER_SIZE)
+        if len(raw) < PAIR_HEADER_SIZE:
+            raise ValueError("file too short for a pair-file header")
+        magic, version, flags, count, _ = _PAIR_HEADER.unpack(raw)
+        if magic != PAIR_MAGIC:
+            raise ValueError(f"bad magic {magic!r}; not a pair file")
+        if version != _PAIR_VERSION:
+            raise ValueError(f"unsupported pair-file version {version}")
+        return cls(disk, count=count, with_distances=bool(flags & 1))
+
+    def flush_header(self) -> None:
+        """Persist the header (count + flags)."""
+        flags = 1 if self.with_distances else 0
+        self.disk.write(0, _PAIR_HEADER.pack(
+            PAIR_MAGIC, _PAIR_VERSION, flags, self.count, 0))
+
+    # -- record access --------------------------------------------------------
+
+    def append(self, ids_a: np.ndarray, ids_b: np.ndarray,
+               distances: Optional[np.ndarray] = None) -> None:
+        """Append a batch of pairs (one sequential write)."""
+        ids_a = np.ascontiguousarray(ids_a, dtype=np.int64)
+        ids_b = np.ascontiguousarray(ids_b, dtype=np.int64)
+        if len(ids_a) != len(ids_b):
+            raise ValueError("id arrays differ in length")
+        if self.with_distances:
+            if distances is None:
+                raise ValueError("this pair file stores distances")
+            if len(distances) != len(ids_a):
+                raise ValueError("distance array length mismatch")
+            buf = np.empty((len(ids_a), 3), dtype="<f8")
+            buf[:, 0:1].view("<i8")[:, 0] = ids_a
+            buf[:, 1:2].view("<i8")[:, 0] = ids_b
+            buf[:, 2] = np.asarray(distances, dtype=np.float64)
+        else:
+            buf = np.empty((len(ids_a), 2), dtype="<i8")
+            buf[:, 0] = ids_a
+            buf[:, 1] = ids_b
+        offset = PAIR_HEADER_SIZE + self.count * self.record_bytes
+        self.disk.write(offset, buf.tobytes())
+        self.count += len(ids_a)
+
+    def read_range(self, first: int, n: int
+                   ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Read ``n`` pair records starting at index ``first``."""
+        if first < 0 or n < 0 or first + n > self.count:
+            raise IndexError(
+                f"pair range [{first}, {first + n}) out of bounds for "
+                f"{self.count} records")
+        offset = PAIR_HEADER_SIZE + first * self.record_bytes
+        data = self.disk.read(offset, n * self.record_bytes)
+        if self.with_distances:
+            raw = np.frombuffer(data, dtype="<f8").reshape(n, 3)
+            a = raw[:, 0:1].copy().view("<i8")[:, 0]
+            b = raw[:, 1:2].copy().view("<i8")[:, 0]
+            return a, b, raw[:, 2].copy()
+        raw = np.frombuffer(data, dtype="<i8").reshape(n, 2)
+        return raw[:, 0].copy(), raw[:, 1].copy(), None
+
+    def read_all(self) -> Tuple[np.ndarray, np.ndarray,
+                                Optional[np.ndarray]]:
+        """Read every pair record."""
+        return self.read_range(0, self.count)
+
+    def iter_batches(self, batch: int = 65536
+                     ) -> Iterator[Tuple[np.ndarray, np.ndarray,
+                                         Optional[np.ndarray]]]:
+        """Yield the pairs in batches of at most ``batch`` records."""
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        pos = 0
+        while pos < self.count:
+            n = min(batch, self.count - pos)
+            yield self.read_range(pos, n)
+            pos += n
+
+    def close(self) -> None:
+        """Persist the header; the disk stays open."""
+        self.flush_header()
+
+
+class SpillingCollector:
+    """Streams join results to a :class:`PairFile` with bounded memory.
+
+    Use :meth:`make_result` to obtain a
+    :class:`~repro.core.result.JoinResult` wired to spill here, run the
+    join with it, then :meth:`close`.
+    """
+
+    def __init__(self, pair_file: PairFile,
+                 buffer_pairs: int = 65536) -> None:
+        if buffer_pairs <= 0:
+            raise ValueError("buffer_pairs must be positive")
+        self.pair_file = pair_file
+        self.buffer_pairs = buffer_pairs
+        self._a: list = []
+        self._b: list = []
+        self._d: list = []
+        self._pending = 0
+
+    def __call__(self, ids_a: np.ndarray, ids_b: np.ndarray) -> None:
+        self._a.append(np.asarray(ids_a, dtype=np.int64).copy())
+        self._b.append(np.asarray(ids_b, dtype=np.int64).copy())
+        self._pending += len(ids_a)
+        if self._pending >= self.buffer_pairs:
+            self.flush()
+
+    def make_result(self):
+        """A non-materialising JoinResult that spills through this collector."""
+        from ..core.result import JoinResult
+        if self.pair_file.with_distances:
+            raise ValueError(
+                "distance-spilling requires driving the collector "
+                "explicitly; JoinResult callbacks carry ids only")
+        return JoinResult(materialize=False, callback=self)
+
+    def flush(self) -> None:
+        """Write buffered pairs to the file."""
+        if not self._pending:
+            return
+        self.pair_file.append(np.concatenate(self._a),
+                              np.concatenate(self._b))
+        self._a.clear()
+        self._b.clear()
+        self._pending = 0
+
+    def close(self) -> None:
+        """Flush and persist the pair-file header."""
+        self.flush()
+        self.pair_file.close()

@@ -1,0 +1,126 @@
+"""Operation counters shared by the storage and join layers.
+
+The paper evaluates algorithms on a real disk; this reproduction replaces
+wall-clock measurement with exact operation counting (random/sequential
+disk accesses, bytes moved, distance computations) which the cost model in
+:mod:`repro.analysis.costmodel` converts into simulated seconds using the
+device constants published in Section 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class IOCounters:
+    """Counts of physical I/O operations performed against one disk."""
+
+    random_reads: int = 0
+    sequential_reads: int = 0
+    random_writes: int = 0
+    sequential_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        """Total number of physical accesses (reads and writes)."""
+        return (self.random_reads + self.sequential_reads
+                + self.random_writes + self.sequential_writes)
+
+    @property
+    def total_reads(self) -> int:
+        """Total number of read accesses, random plus sequential."""
+        return self.random_reads + self.sequential_reads
+
+    @property
+    def total_writes(self) -> int:
+        """Total number of write accesses, random plus sequential."""
+        return self.random_writes + self.sequential_writes
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "IOCounters":
+        """Return an independent copy of the current counts."""
+        return IOCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def __add__(self, other: "IOCounters") -> "IOCounters":
+        return IOCounters(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    def __sub__(self, other: "IOCounters") -> "IOCounters":
+        return IOCounters(**{
+            f.name: getattr(self, f.name) - getattr(other, f.name)
+            for f in fields(self)
+        })
+
+
+@dataclass
+class CPUCounters:
+    """Counts of the CPU operations that dominate join cost.
+
+    ``distance_calculations`` counts invocations of the point-to-point
+    distance test; ``dimension_evaluations`` counts how many per-dimension
+    squared differences were actually accumulated before the early abort of
+    Figure 7 fired (or the full dimension count when it did not).
+    ``sequence_pairs`` counts recursive sequence-pair inspections in
+    ``join_sequences`` and ``sequence_exclusions`` how many of those were
+    pruned by the inactive-dimension rule.
+    """
+
+    distance_calculations: int = 0
+    dimension_evaluations: int = 0
+    sequence_pairs: int = 0
+    sequence_exclusions: int = 0
+    key_comparisons: int = 0
+    mbr_tests: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "CPUCounters":
+        """Return an independent copy of the current counts."""
+        return CPUCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def __add__(self, other: "CPUCounters") -> "CPUCounters":
+        return CPUCounters(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    def __sub__(self, other: "CPUCounters") -> "CPUCounters":
+        return CPUCounters(**{
+            f.name: getattr(self, f.name) - getattr(other, f.name)
+            for f in fields(self)
+        })
+
+
+@dataclass
+class OperationStats:
+    """Bundle of I/O and CPU counters describing one algorithm run."""
+
+    io: IOCounters = field(default_factory=IOCounters)
+    cpu: CPUCounters = field(default_factory=CPUCounters)
+
+    def reset(self) -> None:
+        """Zero both counter groups."""
+        self.io.reset()
+        self.cpu.reset()
+
+    def snapshot(self) -> "OperationStats":
+        """Return an independent copy of the current counts."""
+        return OperationStats(io=self.io.snapshot(), cpu=self.cpu.snapshot())
+
+    def __add__(self, other: "OperationStats") -> "OperationStats":
+        return OperationStats(io=self.io + other.io, cpu=self.cpu + other.cpu)
+
+    def __sub__(self, other: "OperationStats") -> "OperationStats":
+        return OperationStats(io=self.io - other.io, cpu=self.cpu - other.cpu)

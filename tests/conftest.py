@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import JoinResult
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pagefile import PointFile
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def temp_disk():
+    """An anonymous simulated disk, closed after the test."""
+    disk = SimulatedDisk()
+    yield disk
+    disk.close()
+
+
+def make_file(disk: SimulatedDisk, points: np.ndarray,
+              ids: np.ndarray = None) -> PointFile:
+    """Write a point array to a fresh point file on ``disk``."""
+    pts = np.asarray(points, dtype=np.float64)
+    if ids is None:
+        ids = np.arange(len(pts), dtype=np.int64)
+    pf = PointFile.create(disk, pts.shape[1])
+    pf.append(ids, pts)
+    pf.close()
+    return pf
+
+
+def canonical(result: JoinResult) -> set:
+    """Result pairs as canonical unordered tuples."""
+    return result.canonical_pair_set()
+
+
+def brute_truth(points: np.ndarray, epsilon: float) -> set:
+    """Ground-truth unordered pair set by direct computation."""
+    pts = np.asarray(points, dtype=np.float64)
+    n = len(pts)
+    if n < 2:
+        return set()
+    diff = pts[:, None, :] - pts[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    ia, ib = np.nonzero(np.triu(d2 <= epsilon * epsilon, k=1))
+    return {(int(a), int(b)) for a, b in zip(ia, ib)}

@@ -1,0 +1,161 @@
+"""Tests for the cost model, calibration and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibrate import (measure_avg_dimension_evals,
+                                      measure_ordering_gain)
+from repro.analysis.costmodel import (CPUModel, ego_total_time,
+                                      join_total_time,
+                                      nested_loop_estimate)
+from repro.analysis.reporting import (format_table, format_value,
+                                      series_markdown, speedup_summary)
+from repro.core.ego_join import ego_self_join_file
+from repro.data.synthetic import cad_like, uniform
+from repro.joins.rsj import rsj_self_join
+from repro.index.rtree import RTree
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+from conftest import make_file
+
+
+class TestCPUModel:
+    def test_cpu_time_scales_with_counters(self):
+        from repro.storage.stats import CPUCounters
+        model = CPUModel()
+        small = CPUCounters(distance_calculations=10,
+                            dimension_evaluations=50)
+        big = CPUCounters(distance_calculations=1000,
+                          dimension_evaluations=5000)
+        assert model.cpu_time(big, 8) > 50 * model.cpu_time(small, 8)
+
+    def test_mbr_tests_cost_scales_with_dimension(self):
+        from repro.storage.stats import CPUCounters
+        model = CPUModel()
+        c = CPUCounters(mbr_tests=100)
+        assert model.cpu_time(c, 16) == pytest.approx(
+            2 * model.cpu_time(c, 8))
+
+
+class TestTotalTimes:
+    def test_ego_total_includes_sort_and_join(self, rng):
+        pts = uniform(200, 4, seed=1)
+        with SimulatedDisk() as disk:
+            pf = make_file(disk, pts)
+            report = ego_self_join_file(pf, 0.25, unit_bytes=512,
+                                        buffer_units=4)
+            total = ego_total_time(report, 4)
+            assert total > report.simulated_io_time_s
+
+    def test_join_total_time(self, rng):
+        pts = uniform(150, 3, seed=2)
+        with SimulatedDisk() as disk:
+            tree = RTree.bulk_load(np.arange(150), pts, disk, 16)
+            report = rsj_self_join(tree, 0.3, pool_pages=4)
+            total = join_total_time(report, 3)
+            assert total > report.simulated_io_time_s
+
+
+class TestNestedLoopEstimate:
+    def test_quadratic_growth(self):
+        small = nested_loop_estimate(1000, 8, buffer_records=100)
+        big = nested_loop_estimate(2000, 8, buffer_records=100)
+        assert big.distance_calculations == pytest.approx(
+            4 * small.distance_calculations, rel=0.01)
+        assert big.total_time_s > 3 * small.total_time_s
+
+    def test_bigger_buffer_less_io(self):
+        tight = nested_loop_estimate(5000, 4, buffer_records=100)
+        roomy = nested_loop_estimate(5000, 4, buffer_records=2000)
+        assert roomy.io_time_s < tight.io_time_s
+        assert roomy.cpu_time_s == pytest.approx(tight.cpu_time_s)
+
+    def test_avg_evals_reduces_cpu(self):
+        full = nested_loop_estimate(1000, 16, buffer_records=100)
+        fast = nested_loop_estimate(1000, 16, buffer_records=100,
+                                    avg_dimension_evals=2.0)
+        assert fast.cpu_time_s < full.cpu_time_s
+
+    def test_estimate_tracks_real_run_io(self, rng):
+        """The closed form should be close to the measured BNLJ bytes."""
+        from repro.joins.nested_loop import nested_loop_self_join_file
+        pts = uniform(120, 3, seed=3)
+        with SimulatedDisk() as disk:
+            pf = make_file(disk, pts)
+            report = nested_loop_self_join_file(pf, 0.2,
+                                                buffer_records=30)
+        est = nested_loop_estimate(120, 3, buffer_records=30)
+        assert est.bytes_read == pytest.approx(report.io.bytes_read,
+                                               rel=0.05)
+        assert est.distance_calculations == \
+            report.cpu.distance_calculations
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            nested_loop_estimate(-1, 8, 100)
+        with pytest.raises(ValueError):
+            nested_loop_estimate(10, 8, 1)
+
+
+class TestCalibrate:
+    def test_avg_evals_between_one_and_d(self, rng):
+        pts = uniform(300, 8, seed=4)
+        evals = measure_avg_dimension_evals(pts, 0.3)
+        assert 1.0 <= evals <= 8.0
+
+    def test_uniform_data_aborts_early(self):
+        """Random 16-d pairs at small eps abort within a few dimensions."""
+        pts = uniform(400, 16, seed=5)
+        evals = measure_avg_dimension_evals(pts, 0.1)
+        assert evals < 3.0
+
+    def test_ordering_gain_on_correlated_data(self):
+        """On spectrum-decayed data, leading dims distinguish best, so
+        the natural order is already good — a reversed order is worse."""
+        pts = cad_like(300, seed=6)
+        worst = measure_ordering_gain(pts[:150], pts[150:], 0.1,
+                                      np.arange(15, -1, -1))
+        assert worst > 1.0
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            measure_avg_dimension_evals(np.zeros((1, 2)), 0.5)
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(3) == "3"
+        assert format_value(0.0) == "0"
+        assert format_value(1234567.0) == "1.235e+06"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        rows = [{"alg": "ego", "time": 1.5},
+                {"alg": "rsj", "time": 20.25}]
+        table = format_table(rows, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "alg" in lines[1] and "time" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_infers_columns(self):
+        table = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in table and "b" in table
+        assert "-" in table  # missing cells
+
+    def test_speedup_summary(self):
+        times = {"ego": [1.0, 2.0], "mux": [6.0, 18.0]}
+        out = speedup_summary(times, "ego")
+        assert out["mux"] == "6.0x - 9.0x"
+
+    def test_speedup_unknown_reference(self):
+        with pytest.raises(KeyError):
+            speedup_summary({"a": [1.0]}, "b")
+
+    def test_series_markdown(self):
+        md = series_markdown([{"n": 10, "t": 0.5}])
+        lines = md.splitlines()
+        assert lines[0] == "| n | t |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 10 | 0.5 |"

@@ -1,0 +1,154 @@
+"""Tests for the buffer pool (LRU + pinning)."""
+
+import pytest
+
+from repro.storage.buffer import BufferFullError, BufferPool
+
+
+class CountingLoader:
+    """Loader that records which keys were fetched."""
+
+    def __init__(self):
+        self.loads = []
+
+    def __call__(self, key):
+        self.loads.append(key)
+        return f"page-{key}"
+
+
+@pytest.fixture
+def loader():
+    return CountingLoader()
+
+
+class TestBasics:
+    def test_miss_then_hit(self, loader):
+        pool = BufferPool(2, loader)
+        assert pool.get(1) == "page-1"
+        assert pool.get(1) == "page-1"
+        assert loader.loads == [1]
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_capacity_must_be_positive(self, loader):
+        with pytest.raises(ValueError):
+            BufferPool(0, loader)
+
+    def test_contains_and_len(self, loader):
+        pool = BufferPool(3, loader)
+        pool.get("a")
+        assert "a" in pool
+        assert "b" not in pool
+        assert len(pool) == 1
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recently_used(self, loader):
+        pool = BufferPool(2, loader)
+        pool.get(1)
+        pool.get(2)
+        pool.get(1)       # 2 is now LRU
+        pool.get(3)       # evicts 2
+        assert 2 not in pool
+        assert 1 in pool and 3 in pool
+        assert pool.stats.evictions == 1
+
+    def test_resident_keys_in_lru_order(self, loader):
+        pool = BufferPool(3, loader)
+        pool.get("a")
+        pool.get("b")
+        pool.get("c")
+        pool.get("a")
+        assert pool.resident_keys == ["b", "c", "a"]
+
+    def test_reload_counts_as_miss(self, loader):
+        pool = BufferPool(1, loader)
+        pool.get(1)
+        pool.get(2)
+        pool.get(1)
+        assert pool.stats.misses == 3
+        assert loader.loads == [1, 2, 1]
+
+
+class TestPinning:
+    def test_pinned_page_survives_pressure(self, loader):
+        pool = BufferPool(2, loader)
+        pool.get(1, pin=True)
+        pool.get(2)
+        pool.get(3)   # must evict 2, not the pinned 1
+        assert 1 in pool
+        assert 2 not in pool
+
+    def test_all_pinned_raises(self, loader):
+        pool = BufferPool(2, loader)
+        pool.get(1, pin=True)
+        pool.get(2, pin=True)
+        with pytest.raises(BufferFullError):
+            pool.get(3)
+
+    def test_unpin_allows_eviction(self, loader):
+        pool = BufferPool(1, loader)
+        pool.get(1, pin=True)
+        pool.unpin(1)
+        pool.get(2)
+        assert 1 not in pool
+
+    def test_unpin_all(self, loader):
+        pool = BufferPool(3, loader)
+        pool.get(1, pin=True)
+        pool.get(2, pin=True)
+        pool.unpin_all()
+        assert pool.pinned_frames() == []
+
+    def test_pin_on_hit(self, loader):
+        pool = BufferPool(2, loader)
+        pool.get(1)
+        pool.get(1, pin=True)
+        assert pool.peek(1).pinned
+
+    def test_free_frames_accounting(self, loader):
+        pool = BufferPool(3, loader)
+        assert pool.free_frames() == 3
+        pool.get(1, pin=True)
+        assert pool.free_frames() == 2
+        pool.get(2)
+        assert pool.free_frames() == 2  # 1 empty + 1 unpinned
+
+
+class TestExplicitManagement:
+    def test_discard(self, loader):
+        pool = BufferPool(2, loader)
+        pool.get(1)
+        pool.discard(1)
+        assert 1 not in pool
+
+    def test_discard_absent_is_noop(self, loader):
+        pool = BufferPool(2, loader)
+        pool.discard(99)
+
+    def test_discard_ignores_pin(self, loader):
+        pool = BufferPool(2, loader)
+        pool.get(1, pin=True)
+        pool.discard(1)
+        assert 1 not in pool
+
+    def test_clear(self, loader):
+        pool = BufferPool(3, loader)
+        pool.get(1)
+        pool.get(2)
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_has_empty_frame(self, loader):
+        pool = BufferPool(1, loader)
+        assert pool.has_empty_frame()
+        pool.get(1)
+        assert not pool.has_empty_frame()
+
+    def test_stats_reset(self, loader):
+        pool = BufferPool(1, loader)
+        pool.get(1)
+        pool.get(1)
+        pool.stats.reset()
+        assert pool.stats.hits == 0
+        assert pool.stats.misses == 0

@@ -1,0 +1,147 @@
+"""Tests for the workload generators and dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import load_points, make_point_file, save_points
+from repro.data.synthetic import (cad_like, epsilon_for_average_neighbors,
+                                  gaussian_clusters, uniform)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        pts = uniform(100, 8, seed=1)
+        assert pts.shape == (100, 8)
+        assert (pts >= 0).all() and (pts < 1).all()
+
+    def test_deterministic_by_seed(self):
+        np.testing.assert_array_equal(uniform(10, 3, seed=7),
+                                      uniform(10, 3, seed=7))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            uniform(-1, 3)
+        with pytest.raises(ValueError):
+            uniform(5, 0)
+
+    def test_accepts_generator(self):
+        gen = np.random.default_rng(0)
+        pts = uniform(5, 2, seed=gen)
+        assert pts.shape == (5, 2)
+
+
+class TestGaussianClusters:
+    def test_shape_and_clipping(self):
+        pts = gaussian_clusters(500, 4, clusters=5, seed=2)
+        assert pts.shape == (500, 4)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_clustering_tightens_distances(self):
+        clustered = gaussian_clusters(400, 4, clusters=4, std=0.01,
+                                      noise_fraction=0.0, seed=3)
+        flat = uniform(400, 4, seed=3)
+
+        def mean_nn(pts):
+            diff = pts[:, None, :] - pts[None, :, :]
+            d2 = np.einsum("ijk,ijk->ij", diff, diff)
+            np.fill_diagonal(d2, np.inf)
+            return np.sqrt(d2.min(axis=1)).mean()
+
+        assert mean_nn(clustered) < mean_nn(flat) / 2
+
+    def test_rejects_bad_noise_fraction(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, 2, noise_fraction=1.5)
+
+
+class TestCadLike:
+    def test_shape(self):
+        pts = cad_like(300, seed=4)
+        assert pts.shape == (300, 16)
+
+    def test_spectrum_decays(self):
+        """Later dimensions carry less variance (feature-spectrum shape)."""
+        pts = cad_like(3000, seed=5)
+        var = pts.var(axis=0)
+        assert var[0] > var[8] > var[15]
+
+    def test_dimensions_correlated(self):
+        """The low-rank mixing couples dimensions (unlike uniform data)."""
+        pts = cad_like(3000, seed=6)
+        corr = np.corrcoef(pts.T)
+        off_diag = np.abs(corr[np.triu_indices(16, k=1)])
+        flat = uniform(3000, 16, seed=6)
+        corr_flat = np.corrcoef(flat.T)
+        off_flat = np.abs(corr_flat[np.triu_indices(16, k=1)])
+        assert off_diag.mean() > 3 * off_flat.mean()
+
+    def test_clustered_by_parts(self):
+        pts = cad_like(500, parts=5, seed=7)
+        # With 5 parts, nearest neighbours are far closer than random.
+        diff = pts[:, None, :] - pts[None, :, :]
+        d2 = np.einsum("ijk,ijk->ij", diff, diff)
+        np.fill_diagonal(d2, np.inf)
+        nn = np.sqrt(d2.min(axis=1))
+        assert np.median(nn) < 0.2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            cad_like(10, parts=0)
+
+
+class TestEpsilonSelection:
+    def test_reasonable_for_uniform(self):
+        pts = uniform(2000, 4, seed=8)
+        eps = epsilon_for_average_neighbors(pts, target_neighbors=3)
+        # Check the selected eps really gives a few neighbours on average.
+        diff = pts[:200, None, :] - pts[None, :, :]
+        d2 = np.einsum("ijk,ijk->ij", diff, diff)
+        counts = (d2 <= eps * eps).sum(axis=1) - 1
+        assert 0.5 <= counts.mean() <= 20
+
+    def test_monotone_in_target(self):
+        pts = uniform(1000, 3, seed=9)
+        e1 = epsilon_for_average_neighbors(pts, 2)
+        e2 = epsilon_for_average_neighbors(pts, 10)
+        assert e1 < e2
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            epsilon_for_average_neighbors(np.zeros((1, 2)), 3)
+        with pytest.raises(ValueError):
+            epsilon_for_average_neighbors(np.zeros((5, 2)), 10)
+
+
+class TestLoader:
+    def test_make_point_file_round_trip(self, rng):
+        pts = rng.random((40, 3))
+        disk, pf = make_point_file(pts)
+        try:
+            ids, out = pf.read_all()
+            np.testing.assert_allclose(out, pts)
+            assert ids.tolist() == list(range(40))
+        finally:
+            disk.close()
+
+    def test_accounting_reset_after_write(self, rng):
+        disk, pf = make_point_file(rng.random((10, 2)))
+        try:
+            assert disk.counters.total_accesses == 0
+        finally:
+            disk.close()
+
+    def test_save_and_load_path(self, tmp_path, rng):
+        path = str(tmp_path / "pts.bin")
+        pts = rng.random((25, 4))
+        save_points(path, pts, ids=np.arange(100, 125))
+        ids, out = load_points(path)
+        np.testing.assert_allclose(out, pts)
+        assert ids.tolist() == list(range(100, 125))
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points(str(tmp_path / "nope.bin"))
+
+    def test_rejects_1d_points(self):
+        with pytest.raises(ValueError):
+            make_point_file(np.zeros(5))

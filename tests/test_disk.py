@@ -1,0 +1,147 @@
+"""Tests for the simulated disk device and its accounting."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+class TestDiskModel:
+    def test_sequential_charges_transfer_only(self):
+        model = DiskModel(transfer_rate_bytes=1000, avg_access_time_s=0.01)
+        assert model.access_time(500, sequential=True) == pytest.approx(0.5)
+
+    def test_random_adds_positioning(self):
+        model = DiskModel(transfer_rate_bytes=1000, avg_access_time_s=0.01)
+        assert model.access_time(500, sequential=False) == pytest.approx(0.51)
+
+    def test_paper_defaults(self):
+        model = DiskModel()
+        assert model.transfer_rate_bytes == pytest.approx(9.0 * 1024 * 1024)
+        assert model.avg_access_time_s == pytest.approx(8.9e-3)
+
+
+class TestReadWrite:
+    def test_round_trip(self, temp_disk):
+        temp_disk.write(0, b"hello world")
+        assert temp_disk.read(0, 11) == b"hello world"
+
+    def test_read_past_end_is_short(self, temp_disk):
+        temp_disk.write(0, b"abc")
+        assert temp_disk.read(0, 100) == b"abc"
+
+    def test_read_negative_size_rejected(self, temp_disk):
+        with pytest.raises(ValueError):
+            temp_disk.read(0, -1)
+
+    def test_append_returns_offset(self, temp_disk):
+        assert temp_disk.append(b"12345") == 0
+        assert temp_disk.append(b"678") == 5
+        assert temp_disk.size() == 8
+
+    def test_truncate(self, temp_disk):
+        temp_disk.write(0, b"0123456789")
+        temp_disk.truncate(4)
+        assert temp_disk.size() == 4
+        assert temp_disk.read(0, 10) == b"0123"
+
+    def test_overwrite_region(self, temp_disk):
+        temp_disk.write(0, b"aaaaaaaa")
+        temp_disk.write(2, b"bb")
+        assert temp_disk.read(0, 8) == b"aabbaaaa"
+
+
+class TestAccounting:
+    def test_first_access_is_random(self, temp_disk):
+        temp_disk.write(0, b"x" * 100)
+        assert temp_disk.counters.random_writes == 1
+        assert temp_disk.counters.sequential_writes == 0
+
+    def test_contiguous_accesses_are_sequential(self, temp_disk):
+        temp_disk.write(0, b"x" * 100)
+        temp_disk.write(100, b"y" * 100)
+        temp_disk.write(200, b"z" * 100)
+        assert temp_disk.counters.sequential_writes == 2
+
+    def test_backwards_seek_is_random(self, temp_disk):
+        temp_disk.write(0, b"x" * 100)
+        temp_disk.read(0, 50)
+        assert temp_disk.counters.random_reads == 1
+
+    def test_read_after_write_same_position_is_sequential(self, temp_disk):
+        temp_disk.write(0, b"x" * 100)
+        temp_disk.read(100, 0)  # zero-length read at the head position
+        assert temp_disk.counters.sequential_reads == 1
+
+    def test_bytes_counted(self, temp_disk):
+        temp_disk.write(0, b"x" * 64)
+        temp_disk.read(0, 64)
+        assert temp_disk.counters.bytes_written == 64
+        assert temp_disk.counters.bytes_read == 64
+
+    def test_simulated_time_accumulates(self, temp_disk):
+        before = temp_disk.simulated_time_s
+        temp_disk.write(0, b"x" * 1024)
+        assert temp_disk.simulated_time_s > before
+
+    def test_sequential_cheaper_than_random(self):
+        d1, d2 = SimulatedDisk(), SimulatedDisk()
+        try:
+            d1.write(0, b"a" * 1000)
+            d1.write(1000, b"a" * 1000)
+            d2.write(0, b"a" * 1000)
+            d2.write(5000, b"a" * 1000)
+            assert d1.simulated_time_s < d2.simulated_time_s
+        finally:
+            d1.close()
+            d2.close()
+
+    def test_reset_accounting(self, temp_disk):
+        temp_disk.write(0, b"data")
+        temp_disk.reset_accounting()
+        assert temp_disk.counters.total_accesses == 0
+        assert temp_disk.simulated_time_s == 0.0
+        # After a reset the next access is random again.
+        temp_disk.write(4, b"more")
+        assert temp_disk.counters.random_writes == 1
+
+    def test_total_access_properties(self, temp_disk):
+        temp_disk.write(0, b"ab")
+        temp_disk.read(0, 2)
+        c = temp_disk.counters
+        assert c.total_accesses == 2
+        assert c.total_reads == 1
+        assert c.total_writes == 1
+
+
+class TestLifecycle:
+    def test_anonymous_file_removed_on_close(self):
+        disk = SimulatedDisk()
+        path = disk.path
+        assert os.path.exists(path)
+        disk.close()
+        assert not os.path.exists(path)
+
+    def test_named_file_survives_close(self, tmp_path):
+        path = str(tmp_path / "data.bin")
+        disk = SimulatedDisk(path=path)
+        disk.write(0, b"persist")
+        disk.close()
+        assert os.path.exists(path)
+        reopened = SimulatedDisk(path=path)
+        try:
+            assert reopened.read(0, 7) == b"persist"
+        finally:
+            reopened.close()
+
+    def test_context_manager(self):
+        with SimulatedDisk() as disk:
+            disk.write(0, b"ctx")
+            assert disk.read(0, 3) == b"ctx"
+
+    def test_double_close_is_safe(self):
+        disk = SimulatedDisk()
+        disk.close()
+        disk.close()

@@ -1,0 +1,202 @@
+"""Tests for the epsilon grid order (Definition 1, Lemmata 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ego_order import (ego_compare, ego_key, ego_less,
+                                  ego_sort_order, ego_sorted,
+                                  epsilon_interval, grid_cells,
+                                  is_ego_sorted, outside_interval_high,
+                                  outside_interval_low, validate_epsilon)
+
+# -- strategies ------------------------------------------------------------
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False, width=64)
+epsilons = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+
+
+def point_strategy(dims: int):
+    return st.lists(coords, min_size=dims, max_size=dims).map(np.array)
+
+
+# -- validate_epsilon ------------------------------------------------------
+
+class TestValidateEpsilon:
+    def test_accepts_positive(self):
+        assert validate_epsilon(0.5) == 0.5
+
+    def test_accepts_integer(self):
+        assert validate_epsilon(2) == 2.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"),
+                                     float("inf"), -0.0])
+    def test_rejects_non_positive_or_non_finite(self, bad):
+        with pytest.raises(ValueError):
+            validate_epsilon(bad)
+
+
+# -- grid cells ---------------------------------------------------------------
+
+class TestGridCells:
+    def test_floor_semantics(self):
+        cells = grid_cells(np.array([[0.0, 0.49, 0.51, 0.99, 1.0]]).T, 0.5)
+        assert cells[:, 0].tolist() == [0, 0, 1, 1, 2]
+
+    def test_negative_coordinates_floor(self):
+        cells = grid_cells(np.array([[-0.1, -0.5, -0.51]]).T, 0.5)
+        assert cells[:, 0].tolist() == [-1, -1, -2]
+
+    def test_single_point_shape(self):
+        cells = grid_cells(np.array([1.2, 3.4]), 1.0)
+        assert cells.tolist() == [1, 3]
+
+    def test_dtype_is_integer(self):
+        assert grid_cells(np.array([[1.5]]), 0.5).dtype == np.int64
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            grid_cells(np.array([[1.0]]), 0.0)
+
+
+# -- the order relation ----------------------------------------------------------
+
+class TestEgoComparator:
+    def test_dimension_zero_has_highest_weight(self):
+        p = np.array([0.1, 9.9])
+        q = np.array([1.1, 0.0])
+        assert ego_less(p, q, 1.0)
+        assert not ego_less(q, p, 1.0)
+
+    def test_tie_broken_by_later_dimension(self):
+        p = np.array([0.5, 0.1])
+        q = np.array([0.6, 1.5])
+        assert ego_less(p, q, 1.0)
+
+    def test_same_cell_is_unordered(self):
+        p = np.array([0.1, 0.2])
+        q = np.array([0.3, 0.4])
+        assert ego_compare(p, q, 1.0) == 0
+        assert not ego_less(p, q, 1.0)
+        assert not ego_less(q, p, 1.0)
+
+    @given(point_strategy(3), epsilons)
+    def test_irreflexive(self, p, eps):
+        assert not ego_less(p, p, eps)
+
+    @given(point_strategy(3), point_strategy(3), epsilons)
+    def test_asymmetric(self, p, q, eps):
+        if ego_less(p, q, eps):
+            assert not ego_less(q, p, eps)
+
+    @given(point_strategy(2), point_strategy(2), point_strategy(2),
+           epsilons)
+    def test_transitive(self, p, q, r, eps):
+        if ego_less(p, q, eps) and ego_less(q, r, eps):
+            assert ego_less(p, r, eps)
+
+    @given(point_strategy(3), point_strategy(3), epsilons)
+    def test_compare_consistent_with_less(self, p, q, eps):
+        c = ego_compare(p, q, eps)
+        assert (c == -1) == ego_less(p, q, eps)
+        assert (c == 1) == ego_less(q, p, eps)
+
+    @given(point_strategy(4), point_strategy(4), epsilons)
+    def test_key_order_equals_comparator(self, p, q, eps):
+        """Sorting by ego_key realises exactly the comparator order."""
+        kp, kq = ego_key(p, eps), ego_key(q, eps)
+        assert (kp < kq) == ego_less(p, q, eps)
+        assert (kp == kq) == (ego_compare(p, q, eps) == 0)
+
+
+# -- sorting ----------------------------------------------------------------
+
+class TestEgoSorting:
+    def test_sort_order_is_permutation(self, rng):
+        pts = rng.random((50, 3))
+        order = ego_sort_order(pts, 0.2)
+        assert sorted(order.tolist()) == list(range(50))
+
+    def test_sorted_output_is_ego_sorted(self, rng):
+        pts = rng.random((200, 4))
+        _ids, spts = ego_sorted(pts, 0.1)
+        assert is_ego_sorted(spts, 0.1)
+
+    def test_sorted_keys_non_decreasing(self, rng):
+        pts = rng.random((100, 2))
+        _ids, spts = ego_sorted(pts, 0.3)
+        keys = [ego_key(p, 0.3) for p in spts]
+        assert keys == sorted(keys)
+
+    def test_ids_track_points(self, rng):
+        pts = rng.random((60, 3))
+        ids, spts = ego_sorted(pts, 0.25)
+        np.testing.assert_allclose(pts[ids], spts)
+
+    def test_explicit_ids_preserved(self, rng):
+        pts = rng.random((10, 2))
+        my_ids = np.arange(10, 20, dtype=np.int64)
+        ids, spts = ego_sorted(pts, 0.5, ids=my_ids)
+        assert set(ids.tolist()) == set(range(10, 20))
+        np.testing.assert_allclose(pts[ids - 10], spts)
+
+    def test_deterministic_with_id_tiebreak(self, rng):
+        pts = np.zeros((5, 2))  # all in one cell
+        ids, _ = ego_sorted(pts, 1.0)
+        assert ids.tolist() == [0, 1, 2, 3, 4]
+
+    def test_is_ego_sorted_detects_violation(self):
+        pts = np.array([[2.5, 0.0], [0.5, 0.0]])
+        assert not is_ego_sorted(pts, 1.0)
+
+    def test_empty_and_single(self):
+        assert is_ego_sorted(np.empty((0, 3)), 1.0)
+        assert is_ego_sorted(np.array([[1.0, 2.0]]), 1.0)
+
+    def test_rejects_1d_points(self):
+        with pytest.raises(ValueError):
+            ego_sort_order(np.array([1.0, 2.0]), 1.0)
+
+
+# -- the eps-interval (Lemmata 2 & 3) ----------------------------------------
+
+class TestEpsilonInterval:
+    def test_bounds_shift_by_epsilon(self):
+        low, high = epsilon_interval(np.array([1.0, 2.0]), 0.5)
+        np.testing.assert_allclose(low, [0.5, 1.5])
+        np.testing.assert_allclose(high, [1.5, 2.5])
+
+    @given(point_strategy(3), point_strategy(3), epsilons)
+    @settings(max_examples=200)
+    def test_lemma2_excluded_points_are_not_mates(self, p, q, eps):
+        """q below the eps-interval of p implies distance > eps.
+
+        Up to one float64 ulp: a real-arithmetic distance exceeding eps
+        by less than an ulp can round onto the boundary.
+        """
+        if outside_interval_low(q, p, eps):
+            assert np.linalg.norm(p - q) > eps * (1.0 - 1e-12)
+
+    @given(point_strategy(3), point_strategy(3), epsilons)
+    @settings(max_examples=200)
+    def test_lemma3_excluded_points_are_not_mates(self, p, q, eps):
+        """q above the eps-interval of p implies distance > eps (one
+        ulp tolerance, as in the lemma-2 test)."""
+        if outside_interval_high(q, p, eps):
+            assert np.linalg.norm(p - q) > eps * (1.0 - 1e-12)
+
+    @given(point_strategy(2), point_strategy(2), epsilons)
+    @settings(max_examples=200)
+    def test_join_mates_are_inside_interval(self, p, q, eps):
+        """Contrapositive: mates are never outside the interval.
+
+        Pairs whose distance is within one ulp of ε are skipped: the
+        lemma holds in real arithmetic, but float64 can round a distance
+        that exactly-arithmetically exceeds ε down onto the boundary
+        (e.g. ‖[1,0] − [−1e−239,0]‖ rounds to exactly 1.0).
+        """
+        dist = np.linalg.norm(p - q)
+        if dist <= eps * (1.0 - 1e-12):
+            assert not outside_interval_low(q, p, eps)
+            assert not outside_interval_high(q, p, eps)

@@ -1,0 +1,163 @@
+"""Tests for the external merge sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ego_join import ego_key_function
+from repro.core.ego_order import ego_key, is_ego_sorted
+from repro.sorting.external_sort import external_sort
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pagefile import PointFile
+
+from conftest import make_file
+
+
+def identity_key(points):
+    """Sort by raw integer value of the first coordinate."""
+    return points[:, 0].astype(np.int64)
+
+
+def run_sort(points, key, memory_records, fanin=4, epsilon=None):
+    """Helper: sort an array through the full external machinery."""
+    pts = np.asarray(points, dtype=np.float64)
+    with SimulatedDisk() as src, SimulatedDisk() as dst, \
+            SimulatedDisk() as scratch:
+        pf = make_file(src, pts)
+        out, stats = external_sort(pf, dst, scratch, key, memory_records,
+                                   fanin=fanin)
+        ids, sorted_pts = out.read_all()
+        return ids.copy(), sorted_pts.copy(), stats
+
+
+class TestSingleRun:
+    def test_already_fits_in_memory(self, rng):
+        pts = rng.integers(0, 100, (20, 1)).astype(float)
+        ids, out, stats = run_sort(pts, identity_key, memory_records=64)
+        assert stats.runs_generated == 1
+        assert (np.diff(out[:, 0]) >= 0).all()
+
+    def test_ids_follow_points(self, rng):
+        pts = rng.integers(0, 50, (30, 2)).astype(float)
+        ids, out, _ = run_sort(pts, identity_key, memory_records=64)
+        np.testing.assert_allclose(pts[ids], out)
+
+
+class TestMultiRun:
+    def test_many_runs_single_merge(self, rng):
+        pts = rng.integers(0, 1000, (100, 1)).astype(float)
+        ids, out, stats = run_sort(pts, identity_key, memory_records=16,
+                                   fanin=8)
+        assert stats.runs_generated == 7
+        assert stats.merge_passes == 1
+        assert (np.diff(out[:, 0]) >= 0).all()
+        assert sorted(ids.tolist()) == list(range(100))
+
+    def test_multi_pass_merge(self, rng):
+        pts = rng.integers(0, 1000, (200, 1)).astype(float)
+        ids, out, stats = run_sort(pts, identity_key, memory_records=10,
+                                   fanin=2)
+        assert stats.runs_generated == 20
+        assert stats.merge_passes > 1
+        assert (np.diff(out[:, 0]) >= 0).all()
+        assert sorted(ids.tolist()) == list(range(200))
+
+    def test_records_sorted_counted(self, rng):
+        pts = rng.random((55, 2))
+        _, _, stats = run_sort(pts, identity_key, memory_records=10)
+        assert stats.records_sorted == 55
+
+    def test_stable_tiebreak_by_id(self):
+        pts = np.zeros((40, 1))  # all keys equal
+        ids, _, _ = run_sort(pts, identity_key, memory_records=7)
+        assert ids.tolist() == list(range(40))
+
+
+class TestEgoKeySort:
+    def test_output_is_ego_sorted(self, rng):
+        eps = 0.2
+        pts = rng.random((150, 4))
+        _, out, _ = run_sort(pts, ego_key_function(eps), memory_records=20)
+        assert is_ego_sorted(out, eps)
+
+    def test_matches_in_memory_ego_sort(self, rng):
+        eps = 0.3
+        pts = rng.random((80, 3))
+        ids, out, _ = run_sort(pts, ego_key_function(eps),
+                               memory_records=12)
+        keys = [ego_key(p, eps) for p in out]
+        assert keys == sorted(keys)
+        # Same multiset of points.
+        np.testing.assert_allclose(pts[ids], out)
+
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=2, max_value=25))
+    @settings(max_examples=20, deadline=None)
+    def test_sortedness_property(self, n, memory):
+        rng = np.random.default_rng(n * 31 + memory)
+        eps = 0.25
+        pts = rng.random((n, 3))
+        _, out, _ = run_sort(pts, ego_key_function(eps),
+                             memory_records=memory)
+        assert is_ego_sorted(out, eps)
+        assert len(out) == n
+
+
+class TestValidation:
+    def test_rejects_tiny_memory(self, rng):
+        with SimulatedDisk() as src, SimulatedDisk() as dst, \
+                SimulatedDisk() as scratch:
+            pf = make_file(src, rng.random((5, 2)))
+            with pytest.raises(ValueError):
+                external_sort(pf, dst, scratch, identity_key, 1)
+
+    def test_rejects_tiny_fanin(self, rng):
+        with SimulatedDisk() as src, SimulatedDisk() as dst, \
+                SimulatedDisk() as scratch:
+            pf = make_file(src, rng.random((5, 2)))
+            with pytest.raises(ValueError):
+                external_sort(pf, dst, scratch, identity_key, 8, fanin=1)
+
+    def test_empty_input(self):
+        with SimulatedDisk() as src, SimulatedDisk() as dst, \
+                SimulatedDisk() as scratch:
+            pf = PointFile.create(src, 2)
+            pf.close()
+            out, stats = external_sort(pf, dst, scratch, identity_key, 8)
+            assert out.count == 0
+            assert stats.runs_generated == 0
+
+
+class TestIOAccounting:
+    def test_sort_moves_bounded_data(self, rng):
+        """A single merge pass reads and writes each record O(1) times.
+
+        Input is read once; each record is written to a run, read back
+        during the merge, and written to the output — no thrashing
+        re-reads.
+        """
+        pts = rng.random((300, 2))
+        data_bytes = 300 * 24
+        with SimulatedDisk() as src, SimulatedDisk() as dst, \
+                SimulatedDisk() as scratch:
+            pf = make_file(src, pts)
+            src.reset_accounting()
+            _, stats = external_sort(pf, dst, scratch,
+                                     ego_key_function(0.2),
+                                     memory_records=50)
+            assert stats.merge_passes == 1
+            assert src.counters.bytes_read <= data_bytes + 1024
+            assert scratch.counters.bytes_written <= data_bytes
+            assert scratch.counters.bytes_read <= data_bytes
+            assert dst.counters.bytes_written <= data_bytes + 1024
+
+    def test_run_generation_reads_are_sequential(self, rng):
+        """The run-generation scan of the input never seeks backwards."""
+        pts = rng.random((200, 2))
+        with SimulatedDisk() as src, SimulatedDisk() as dst, \
+                SimulatedDisk() as scratch:
+            pf = make_file(src, pts)
+            src.reset_accounting()
+            external_sort(pf, dst, scratch, ego_key_function(0.2),
+                          memory_records=40)
+            assert src.counters.random_reads <= 1

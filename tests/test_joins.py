@@ -1,0 +1,276 @@
+"""Cross-validation of every join algorithm against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.epskdb import EpsKdbCacheError
+from repro.index.mux import MultipageIndex
+from repro.index.rtree import RTree
+from repro.joins.brute import brute_force_join, brute_force_self_join
+from repro.joins.epskdb_join import epskdb_self_join
+from repro.joins.grid_hash import (grid_hash_self_join,
+                                   grid_prefix_dimensions)
+from repro.joins.mux_join import mux_self_join
+from repro.joins.nested_loop import nested_loop_self_join_file
+from repro.joins.rsj import rsj_join, rsj_self_join
+from repro.joins.zorder_rsj import zorder_rsj_self_join
+from repro.storage.disk import SimulatedDisk
+
+from conftest import brute_truth, make_file
+
+
+class TestBruteForce:
+    def test_self_join_reference(self, rng):
+        pts = rng.random((80, 3))
+        result = brute_force_self_join(pts, 0.3)
+        assert result.canonical_pair_set() == brute_truth(pts, 0.3)
+
+    def test_chunking_does_not_change_result(self, rng):
+        pts = rng.random((50, 2))
+        a = brute_force_self_join(pts, 0.4, chunk=7).canonical_pair_set()
+        b = brute_force_self_join(pts, 0.4, chunk=1000).canonical_pair_set()
+        assert a == b
+
+    def test_two_set_join(self, rng):
+        r, s = rng.random((30, 2)), rng.random((25, 2))
+        result = brute_force_join(r, s, 0.3, chunk=8)
+        expected = {(i, j) for i in range(30) for j in range(25)
+                    if np.linalg.norm(r[i] - s[j]) <= 0.3}
+        assert result.pair_set() == expected
+
+    def test_self_join_excludes_diagonal(self, rng):
+        pts = rng.random((20, 2))
+        a, b = brute_force_self_join(pts, 1.0).pairs()
+        assert (a != b).all()
+
+
+class TestGridHash:
+    @pytest.mark.parametrize("d", [1, 2, 5, 12])
+    def test_matches_brute(self, rng, d):
+        pts = rng.random((100, d))
+        eps = 0.4
+        got = grid_hash_self_join(pts, eps).canonical_pair_set()
+        assert got == brute_truth(pts, eps)
+
+    def test_explicit_prefix(self, rng):
+        pts = rng.random((60, 6))
+        got = grid_hash_self_join(pts, 0.3,
+                                  prefix_dims=2).canonical_pair_set()
+        assert got == brute_truth(pts, 0.3)
+
+    def test_prefix_dims_bounded(self):
+        assert grid_prefix_dimensions(16) <= 8
+        assert grid_prefix_dimensions(1) == 1
+        assert grid_prefix_dimensions(3) == 3
+
+    def test_rejects_bad_prefix(self, rng):
+        with pytest.raises(ValueError):
+            grid_hash_self_join(rng.random((5, 2)), 0.3, prefix_dims=5)
+
+    def test_empty_input(self):
+        result = grid_hash_self_join(np.empty((0, 3)), 0.5)
+        assert result.count == 0
+
+
+class TestRSJ:
+    def test_self_join_matches_brute(self, rng):
+        pts = rng.random((120, 3))
+        eps = 0.3
+        with SimulatedDisk() as disk:
+            tree = RTree.bulk_load(np.arange(120), pts, disk, 16)
+            report = rsj_self_join(tree, eps, pool_pages=4)
+            assert report.result.canonical_pair_set() == brute_truth(
+                pts, eps)
+            assert report.io.total_reads > 0
+            assert report.cpu.mbr_tests > 0
+
+    def test_two_tree_join(self, rng):
+        r, s = rng.random((60, 2)), rng.random((50, 2))
+        with SimulatedDisk() as d1, SimulatedDisk() as d2:
+            tr = RTree.bulk_load(np.arange(60), r, d1, 8)
+            ts = RTree.bulk_load(np.arange(50), s, d2, 8)
+            report = rsj_join(tr, ts, 0.25, pool_pages=4)
+            expected = {(i, j) for i in range(60) for j in range(50)
+                        if np.linalg.norm(r[i] - s[j]) <= 0.25}
+            assert report.result.pair_set() == expected
+
+    def test_small_eps_prunes_io(self, rng):
+        """With tiny eps, most leaf pairs must never be fetched."""
+        pts = rng.random((200, 2))
+        with SimulatedDisk() as disk:
+            tree = RTree.bulk_load(np.arange(200), pts, disk, 8)
+            report = rsj_self_join(tree, 0.01, pool_pages=8)
+            leaf_pairs = tree.num_leaves * (tree.num_leaves + 1) // 2
+            assert report.io.total_reads < leaf_pairs
+
+
+class TestZOrderRSJ:
+    def test_matches_brute(self, rng):
+        pts = rng.random((150, 4))
+        eps = 0.35
+        with SimulatedDisk() as disk:
+            tree = RTree.bulk_load(np.arange(150), pts, disk, 16)
+            report = zorder_rsj_self_join(tree, eps, pool_pages=4)
+            assert report.result.canonical_pair_set() == brute_truth(
+                pts, eps)
+
+    def test_fewer_misses_than_dfs_rsj(self, rng):
+        """The Z-order schedule improves buffer locality over DFS."""
+        pts = rng.random((600, 2))
+        eps = 0.25
+        with SimulatedDisk() as disk:
+            tree = RTree.bulk_load(np.arange(600), pts, disk, 8)
+            dfs = rsj_self_join(tree, eps, pool_pages=4)
+            zor = zorder_rsj_self_join(tree, eps, pool_pages=4)
+            assert (zor.extra["buffer_misses"]
+                    <= dfs.extra["buffer_misses"])
+
+    def test_leaf_pair_count_recorded(self, rng):
+        pts = rng.random((100, 2))
+        with SimulatedDisk() as disk:
+            tree = RTree.bulk_load(np.arange(100), pts, disk, 8)
+            report = zorder_rsj_self_join(tree, 0.3, pool_pages=4)
+            assert report.extra["leaf_pairs"] > 0
+
+
+class TestMuXJoin:
+    def test_matches_brute(self, rng):
+        pts = rng.random((180, 4))
+        eps = 0.35
+        with SimulatedDisk() as disk:
+            mux = MultipageIndex.bulk_load(np.arange(180), pts, disk,
+                                           page_bytes=2048,
+                                           bucket_records=8)
+            report = mux_self_join(mux, eps, pool_pages=4)
+            assert report.result.canonical_pair_set() == brute_truth(
+                pts, eps)
+
+    def test_fewer_distance_calcs_than_page_allpairs(self, rng):
+        """Bucket filtering must beat naive page-level comparison."""
+        pts = rng.random((400, 6))
+        eps = 0.2
+        with SimulatedDisk() as disk:
+            mux = MultipageIndex.bulk_load(np.arange(400), pts, disk,
+                                           page_bytes=8192,
+                                           bucket_records=8)
+            report = mux_self_join(mux, eps, pool_pages=4)
+            # All-pairs over joined pages would be >= records_per_page^2
+            # per pair; bucket filtering should cut this clearly.
+            naive = report.extra["page_pairs"] * mux.records_per_page ** 2
+            assert report.cpu.distance_calculations < naive
+
+    def test_io_uses_few_large_accesses(self, rng):
+        pts = rng.random((500, 4))
+        with SimulatedDisk() as disk:
+            mux = MultipageIndex.bulk_load(np.arange(500), pts, disk,
+                                           page_bytes=16384,
+                                           bucket_records=8)
+            report = mux_self_join(mux, 0.3, pool_pages=4)
+            assert report.io.total_reads <= mux.num_pages * 3
+
+
+class TestEpsKdbJoin:
+    def test_matches_brute(self, rng):
+        pts = rng.random((150, 4))
+        eps = 0.3
+        report = epskdb_self_join(np.arange(150), pts, eps)
+        assert report.result.canonical_pair_set() == brute_truth(pts, eps)
+
+    @pytest.mark.parametrize("capacity", [1, 4, 32])
+    def test_capacity_sweep(self, rng, capacity):
+        pts = rng.random((100, 3))
+        eps = 0.25
+        report = epskdb_self_join(np.arange(100), pts, eps,
+                                  node_capacity=capacity)
+        assert report.result.canonical_pair_set() == brute_truth(pts, eps)
+
+    def test_cache_violation_raises(self, rng):
+        pts = rng.random((100, 2)) * 0.05  # one stripe
+        with pytest.raises(EpsKdbCacheError):
+            epskdb_self_join(np.arange(100), pts, 1.0, cache_records=10)
+
+    def test_force_overrides_cache_check(self, rng):
+        pts = rng.random((100, 2)) * 0.05
+        report = epskdb_self_join(np.arange(100), pts, 1.0,
+                                  cache_records=10, force=True)
+        assert report.result.canonical_pair_set() == brute_truth(pts, 1.0)
+
+    def test_reports_pair_fraction(self, rng):
+        pts = rng.random((200, 2))
+        report = epskdb_self_join(np.arange(200), pts, 0.2)
+        assert 0.0 < report.extra["max_pair_fraction"] <= 1.0
+        assert report.extra["num_stripes"] >= 1
+
+    def test_charges_scan_io(self, rng):
+        pts = rng.random((100, 2))
+        with SimulatedDisk() as disk:
+            pf = make_file(disk, pts)
+            disk.reset_accounting()
+            report = epskdb_self_join(np.arange(100), pts, 0.3,
+                                      cache_records=100, input_file=pf)
+            assert report.io.bytes_read > 0
+
+
+class TestNestedLoop:
+    def test_matches_brute(self, rng):
+        pts = rng.random((90, 3))
+        eps = 0.3
+        with SimulatedDisk() as disk:
+            pf = make_file(disk, pts)
+            report = nested_loop_self_join_file(pf, eps,
+                                                buffer_records=20)
+            assert report.result.canonical_pair_set() == brute_truth(
+                pts, eps)
+
+    def test_compares_all_pairs(self, rng):
+        pts = rng.random((50, 2))
+        with SimulatedDisk() as disk:
+            pf = make_file(disk, pts)
+            report = nested_loop_self_join_file(pf, 0.1,
+                                                buffer_records=16)
+            assert report.cpu.distance_calculations == 50 * 49 // 2
+
+    def test_quadratic_io_growth(self, rng):
+        """Doubling n with fixed buffer should ~quadruple inner reads."""
+        reads = []
+        for n in (64, 128):
+            pts = rng.random((n, 2))
+            with SimulatedDisk() as disk:
+                pf = make_file(disk, pts)
+                report = nested_loop_self_join_file(pf, 0.1,
+                                                    buffer_records=16)
+                reads.append(report.io.bytes_read)
+        assert reads[1] > 3 * reads[0]
+
+    def test_rejects_tiny_buffer(self, rng):
+        with SimulatedDisk() as disk:
+            pf = make_file(disk, rng.random((5, 2)))
+            with pytest.raises(ValueError):
+                nested_loop_self_join_file(pf, 0.3, buffer_records=1)
+
+
+class TestAllAlgorithmsAgree:
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=1, max_value=6),
+           st.floats(min_value=0.05, max_value=0.9),
+           st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_every_join_same_answer(self, n, d, eps, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, d))
+        ids = np.arange(n, dtype=np.int64)
+        truth = brute_truth(pts, eps)
+        assert grid_hash_self_join(pts, eps).canonical_pair_set() == truth
+        assert epskdb_self_join(
+            ids, pts, eps).result.canonical_pair_set() == truth
+        with SimulatedDisk() as disk:
+            tree = RTree.bulk_load(ids, pts, disk, 8)
+            assert rsj_self_join(
+                tree, eps, 4).result.canonical_pair_set() == truth
+            assert zorder_rsj_self_join(
+                tree, eps, 4).result.canonical_pair_set() == truth
+        with SimulatedDisk() as disk:
+            mux = MultipageIndex.bulk_load(ids, pts, disk, 2048, 4)
+            assert mux_self_join(
+                mux, eps, 4).result.canonical_pair_set() == truth

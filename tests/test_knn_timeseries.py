@@ -1,0 +1,149 @@
+"""Tests for the kNN-graph application and the time-series substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.knn import knn_graph
+from repro.data.timeseries import (dft_features, normalize_series,
+                                   random_walks, seasonal_series,
+                                   series_distance)
+
+
+def brute_knn(points, k):
+    diff = points[:, None, :] - points[None, :, :]
+    d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    np.fill_diagonal(d, np.inf)
+    order = np.argsort(d, axis=1, kind="stable")[:, :k]
+    return order, np.take_along_axis(d, order, axis=1)
+
+
+class TestKNNGraph:
+    def test_matches_brute_force(self, rng):
+        pts = rng.random((200, 3))
+        g = knn_graph(pts, 4)
+        truth_idx, truth_d = brute_knn(pts, 4)
+        for i in range(200):
+            assert set(g.neighbors[i].tolist()) \
+                == set(truth_idx[i].tolist())
+            np.testing.assert_allclose(g.distances[i], truth_d[i],
+                                       rtol=1e-9)
+
+    def test_distances_sorted(self, rng):
+        g = knn_graph(rng.random((100, 2)), 6)
+        finite = g.distances[np.isfinite(g.distances).all(axis=1)]
+        assert (np.diff(finite, axis=1) >= -1e-12).all()
+
+    def test_small_initial_epsilon_still_exact(self, rng):
+        """Doubling must recover from a hopeless starting radius."""
+        pts = rng.random((120, 2))
+        g = knn_graph(pts, 3, initial_epsilon=1e-4)
+        assert g.rounds > 1
+        truth_idx, _ = brute_knn(pts, 3)
+        for i in range(120):
+            assert set(g.neighbors[i].tolist()) \
+                == set(truth_idx[i].tolist())
+
+    def test_k_exceeding_population_pads(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        g = knn_graph(pts, 5)
+        assert (g.neighbors[:, 2:] == -1).all()
+        assert np.isinf(g.distances[:, 2:]).all()
+
+    def test_tiny_inputs(self):
+        g = knn_graph(np.empty((0, 2)), 3)
+        assert len(g) == 0
+        g1 = knn_graph(np.array([[1.0, 2.0]]), 3)
+        assert (g1.neighbors == -1).all()
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            knn_graph(rng.random((10, 2)), 0)
+
+    def test_mean_knn_distance(self, rng):
+        g = knn_graph(rng.random((150, 2)), 3)
+        assert 0 < g.mean_knn_distance() < 1.5
+
+    def test_manhattan_metric(self, rng):
+        pts = rng.random((80, 2))
+        g = knn_graph(pts, 3, metric="manhattan")
+        d = np.abs(pts[:, None, :] - pts[None, :, :]).sum(axis=2)
+        np.fill_diagonal(d, np.inf)
+        truth = np.argsort(d, axis=1, kind="stable")[:, :3]
+        for i in range(80):
+            assert set(g.neighbors[i].tolist()) == set(truth[i].tolist())
+
+
+class TestTimeSeriesGenerators:
+    def test_random_walks_shape(self):
+        s = random_walks(20, 50, seed=1)
+        assert s.shape == (20, 50)
+
+    def test_random_walk_is_cumulative(self):
+        s = random_walks(5, 30, seed=2)
+        steps = np.diff(s, axis=1)
+        assert np.abs(steps).max() < 6  # steps are N(0,1), not the walk
+
+    def test_seasonal_series_assignment(self):
+        s, assign = seasonal_series(100, 64, motifs=4, seed=3)
+        assert s.shape == (100, 64)
+        assert set(assign.tolist()) <= set(range(4))
+
+    def test_same_motif_series_are_closer(self):
+        s, assign = seasonal_series(200, 64, motifs=3, noise_std=0.1,
+                                    seed=4)
+        norm = normalize_series(s)
+        same, diff = [], []
+        for i in range(50):
+            for j in range(i + 1, 50):
+                d = np.linalg.norm(norm[i] - norm[j])
+                (same if assign[i] == assign[j] else diff).append(d)
+        assert np.mean(same) < np.mean(diff) / 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_walks(-1, 10)
+        with pytest.raises(ValueError):
+            seasonal_series(10, 32, motifs=0)
+
+
+class TestDFTFeatures:
+    def test_shape(self):
+        s = random_walks(10, 64, seed=5)
+        f = dft_features(s, coefficients=6)
+        assert f.shape == (10, 12)
+
+    def test_parseval_lower_bound(self, rng):
+        """Feature distance never exceeds normalised series distance."""
+        s = random_walks(40, 128, seed=6)
+        f = dft_features(s, coefficients=10)
+        norm = normalize_series(s)
+        for i in range(20):
+            for j in range(i + 1, 20):
+                fd = np.linalg.norm(f[i] - f[j])
+                sd = np.linalg.norm(norm[i] - norm[j])
+                assert fd <= sd + 1e-9
+
+    def test_more_coefficients_tighter(self):
+        s = random_walks(20, 128, seed=7)
+        few = dft_features(s, coefficients=2)
+        many = dft_features(s, coefficients=20)
+        d_few = np.linalg.norm(few[0] - few[1])
+        d_many = np.linalg.norm(many[0] - many[1])
+        assert d_few <= d_many + 1e-9
+
+    def test_normalization_removes_offset(self):
+        base = random_walks(1, 64, seed=8)[0]
+        shifted = base + 1000.0
+        assert series_distance(base, shifted) == pytest.approx(0.0,
+                                                               abs=1e-9)
+
+    def test_rejects_bad_coefficient_count(self):
+        s = random_walks(5, 32, seed=9)
+        with pytest.raises(ValueError):
+            dft_features(s, coefficients=0)
+        with pytest.raises(ValueError):
+            dft_features(s, coefficients=17)
+
+    def test_rejects_1d_series(self):
+        with pytest.raises(ValueError):
+            dft_features(np.zeros(16), coefficients=2)

@@ -1,0 +1,145 @@
+"""Tests for MBR geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.mbr import (MBR, mindist_sq_batch, mindist_sq_point_batch,
+                             union_all)
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def mbr_strategy(d=2):
+    def build(vals):
+        lows = np.minimum(vals[0], vals[1])
+        highs = np.maximum(vals[0], vals[1])
+        return MBR(lows, highs)
+    pts = st.tuples(
+        st.lists(coords, min_size=d, max_size=d).map(np.array),
+        st.lists(coords, min_size=d, max_size=d).map(np.array))
+    return pts.map(build)
+
+
+class TestConstruction:
+    def test_of_points(self, rng):
+        pts = rng.random((10, 3))
+        m = MBR.of_points(pts)
+        assert (m.low <= pts).all() and (pts <= m.high).all()
+        np.testing.assert_allclose(m.low, pts.min(axis=0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MBR.of_points(np.empty((0, 2)))
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            MBR(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MBR(np.zeros(2), np.ones(3))
+
+    def test_degenerate_point_box(self):
+        m = MBR(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert m.volume() == 0.0
+        assert m.contains_point(np.array([1.0, 2.0]))
+
+
+class TestMeasures:
+    def test_volume_and_margin(self):
+        m = MBR(np.array([0.0, 0.0]), np.array([2.0, 3.0]))
+        assert m.volume() == pytest.approx(6.0)
+        assert m.margin() == pytest.approx(5.0)
+
+    def test_center(self):
+        m = MBR(np.array([0.0, 0.0]), np.array([2.0, 4.0]))
+        np.testing.assert_allclose(m.center, [1.0, 2.0])
+
+    def test_union(self):
+        a = MBR(np.array([0.0]), np.array([1.0]))
+        b = MBR(np.array([2.0]), np.array([3.0]))
+        u = a.union(b)
+        assert u.low[0] == 0.0 and u.high[0] == 3.0
+
+    def test_union_all(self):
+        ms = [MBR(np.array([float(i)]), np.array([float(i + 1)]))
+              for i in range(5)]
+        u = union_all(ms)
+        assert u.low[0] == 0.0 and u.high[0] == 5.0
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+    def test_enlarged(self):
+        m = MBR(np.array([1.0, 1.0]), np.array([2.0, 2.0])).enlarged(0.5)
+        np.testing.assert_allclose(m.low, [0.5, 0.5])
+        np.testing.assert_allclose(m.high, [2.5, 2.5])
+
+    def test_enlarged_rejects_negative(self):
+        m = MBR(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError):
+            m.enlarged(-0.1)
+
+
+class TestDistances:
+    def test_overlapping_mindist_zero(self):
+        a = MBR(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        b = MBR(np.array([1.0, 1.0]), np.array([3.0, 3.0]))
+        assert a.mindist_sq(b) == 0.0
+        assert a.intersects(b)
+
+    def test_axis_gap(self):
+        a = MBR(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBR(np.array([3.0, 0.0]), np.array([4.0, 1.0]))
+        assert a.mindist_sq(b) == pytest.approx(4.0)
+        assert not a.intersects(b)
+
+    def test_diagonal_gap(self):
+        a = MBR(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = MBR(np.array([2.0, 2.0]), np.array([3.0, 3.0]))
+        assert a.mindist_sq(b) == pytest.approx(2.0)
+
+    def test_point_distances(self):
+        m = MBR(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert m.mindist_sq_point(np.array([0.5, 0.5])) == 0.0
+        assert m.mindist_sq_point(np.array([2.0, 0.5])) == pytest.approx(1.0)
+        assert m.maxdist_sq_point(np.array([0.0, 0.0])) == pytest.approx(2.0)
+
+    @given(mbr_strategy(), mbr_strategy())
+    def test_mindist_symmetric(self, a, b):
+        assert a.mindist_sq(b) == pytest.approx(b.mindist_sq(a))
+
+    @given(mbr_strategy(), st.lists(coords, min_size=2, max_size=2))
+    @settings(max_examples=100)
+    def test_lower_bounding_property(self, m, p):
+        """mindist never exceeds the distance to any contained point."""
+        p = np.array(p)
+        inside = m.low + (m.high - m.low) * 0.5
+        d = float(np.sum((inside - p) ** 2))
+        assert m.mindist_sq_point(p) <= d + 1e-9
+
+
+class TestBatchOperations:
+    def test_batch_matches_scalar(self, rng):
+        boxes_a = [MBR.of_points(rng.random((3, 2)) + i)
+                   for i in range(4)]
+        boxes_b = [MBR.of_points(rng.random((3, 2)) + 2 * i)
+                   for i in range(5)]
+        lows_a = np.array([m.low for m in boxes_a])
+        highs_a = np.array([m.high for m in boxes_a])
+        lows_b = np.array([m.low for m in boxes_b])
+        highs_b = np.array([m.high for m in boxes_b])
+        batch = mindist_sq_batch(lows_a, highs_a, lows_b, highs_b)
+        for i in range(4):
+            for j in range(5):
+                assert batch[i, j] == pytest.approx(
+                    boxes_a[i].mindist_sq(boxes_b[j]))
+
+    def test_point_batch_matches_scalar(self, rng):
+        m = MBR.of_points(rng.random((5, 3)))
+        pts = rng.random((10, 3)) * 2
+        batch = mindist_sq_point_batch(m.low, m.high, pts)
+        for j in range(10):
+            assert batch[j] == pytest.approx(m.mindist_sq_point(pts[j]))

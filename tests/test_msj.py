@@ -1,0 +1,135 @@
+"""Tests for the S³J/MSJ level-file structures and join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.msj import (LevelFiles, cell_at_level,
+                             level_zero_probability, point_levels)
+from repro.joins.msj_join import msj_self_join
+
+from conftest import brute_truth
+
+
+class TestPointLevels:
+    def test_cube_crossing_midplane_is_level_zero(self):
+        pts = np.array([[0.5, 0.25]])  # cube straddles x=0.5
+        levels = point_levels(pts, 0.1)
+        assert levels[0] == 0
+
+    def test_tiny_cube_deep_level(self):
+        pts = np.array([[0.3, 0.3]])
+        levels = point_levels(pts, 1e-6)
+        assert levels[0] >= 10
+
+    def test_level_meaning(self, rng):
+        """Both cube corners share the level cell; they differ one level
+        deeper (unless capped)."""
+        eps = 0.07
+        pts = rng.random((50, 2))
+        levels = point_levels(pts, eps, max_level=12)
+        lo = np.clip(pts - eps / 2, 0.0, 1.0 - 1e-12)
+        hi = np.clip(pts + eps / 2, 0.0, 1.0 - 1e-12)
+        for p in range(50):
+            l = int(levels[p])
+            assert (np.floor(lo[p] * (1 << l))
+                    == np.floor(hi[p] * (1 << l))).all()
+            if l < 12:
+                deeper = 1 << (l + 1)
+                assert (np.floor(lo[p] * deeper)
+                        != np.floor(hi[p] * deeper)).any()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            point_levels(np.array([0.5, 0.5]), 0.1)
+
+    def test_level_zero_fraction_matches_analytic(self):
+        """Monte-Carlo level-0 rate ≈ 1 − (1 − ε)^d (the §2.2 effect)."""
+        rng = np.random.default_rng(0)
+        eps, d = 0.1, 8
+        pts = rng.random((20000, d))
+        levels = point_levels(pts, eps)
+        measured = (levels == 0).mean()
+        assert measured == pytest.approx(
+            level_zero_probability(eps, d), abs=0.02)
+
+    def test_level_zero_probability_grows_with_dimension(self):
+        assert (level_zero_probability(0.1, 16)
+                > level_zero_probability(0.1, 8)
+                > level_zero_probability(0.1, 2))
+
+
+class TestLevelFiles:
+    def test_levels_partition_points(self, rng):
+        pts = rng.random((200, 3))
+        lf = LevelFiles(pts, 0.1)
+        assert sum(lf.level_sizes.values()) == 200
+
+    def test_cells_group_points_correctly(self, rng):
+        pts = rng.random((100, 2))
+        structure = LevelFiles(pts, 0.15)
+        for level, lf in structure.files.items():
+            for cell, idx in lf.cells.items():
+                cells = cell_at_level(pts[idx], level)
+                assert (cells == np.array(cell)).all()
+
+    def test_ancestor_cell(self, rng):
+        lf = LevelFiles(rng.random((10, 2)), 0.1)
+        assert lf.ancestor_cell((13, 7), 4, 2) == (3, 1)
+        assert lf.ancestor_cell((13, 7), 4, 4) == (13, 7)
+        with pytest.raises(ValueError):
+            lf.ancestor_cell((1, 1), 2, 3)
+
+    def test_resident_fraction_bounds(self, rng):
+        pts = rng.random((500, 8))
+        frac = LevelFiles(pts, 0.2).average_resident_fraction()
+        assert 0.0 < frac <= 1.0
+
+    def test_resident_fraction_grows_with_dimension(self, rng):
+        """The paper's §2.2 criticism: high-d pushes points to coarse
+        levels, inflating the resident set."""
+        eps = 0.15
+        low_d = LevelFiles(rng.random((2000, 2)), eps)
+        high_d = LevelFiles(rng.random((2000, 8)), eps)
+        assert (high_d.average_resident_fraction()
+                > low_d.average_resident_fraction() + 0.2)
+
+    def test_empty_input(self):
+        lf = LevelFiles(np.empty((0, 3)), 0.1)
+        assert lf.average_resident_fraction() == 0.0
+
+
+class TestMSJJoin:
+    @pytest.mark.parametrize("d,eps", [(2, 0.3), (4, 0.15), (8, 0.4)])
+    def test_matches_brute(self, rng, d, eps):
+        pts = rng.random((200, d))
+        rep = msj_self_join(pts, eps)
+        assert rep.result.canonical_pair_set() == brute_truth(pts, eps)
+
+    def test_no_duplicates(self, rng):
+        pts = rng.random((150, 2))
+        rep = msj_self_join(pts, 0.4)
+        a, b = rep.result.pairs()
+        canon = set(zip(np.minimum(a, b).tolist(),
+                        np.maximum(a, b).tolist()))
+        assert len(canon) == len(a)
+
+    def test_reports_resident_fraction(self, rng):
+        rep = msj_self_join(rng.random((100, 8)), 0.25)
+        assert 0 < rep.extra["resident_fraction"] <= 1.0
+        assert rep.extra["levels"] >= 1
+
+    def test_empty_input(self):
+        rep = msj_self_join(np.empty((0, 2)), 0.3)
+        assert rep.result.count == 0
+
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=1, max_value=5),
+           st.floats(min_value=0.02, max_value=0.8),
+           st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_brute(self, n, d, eps, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, d))
+        rep = msj_self_join(pts, eps)
+        assert rep.result.canonical_pair_set() == brute_truth(pts, eps)

@@ -1,0 +1,121 @@
+"""Tests for the Multipage Index."""
+
+import numpy as np
+import pytest
+
+from repro.index.mux import MultipageIndex
+from repro.storage.disk import SimulatedDisk
+
+
+def build(points, page_bytes=4096, bucket_records=8):
+    disk = SimulatedDisk()
+    ids = np.arange(len(points), dtype=np.int64)
+    mux = MultipageIndex.bulk_load(ids, np.asarray(points, dtype=float),
+                                   disk, page_bytes, bucket_records)
+    return disk, mux
+
+
+class TestBulkLoad:
+    def test_pages_partition_records(self, rng):
+        pts = rng.random((200, 4))
+        disk, mux = build(pts)
+        try:
+            covered = []
+            for page in mux.pages:
+                assert page.first < page.last
+                covered.extend(range(page.first, page.last))
+            assert covered == list(range(200))
+        finally:
+            disk.close()
+
+    def test_buckets_partition_pages(self, rng):
+        disk, mux = build(rng.random((150, 3)))
+        try:
+            for page in mux.pages:
+                pos = page.first
+                for bucket in page.buckets:
+                    assert bucket.first == pos
+                    pos = bucket.last
+                assert pos == page.last
+        finally:
+            disk.close()
+
+    def test_bucket_mbrs_bound_points(self, rng):
+        pts = rng.random((120, 3))
+        disk, mux = build(pts)
+        try:
+            _ids, stored = mux.leaf_file.read_all()
+            for page in mux.pages:
+                for bucket in page.buckets:
+                    chunk = stored[bucket.first:bucket.last]
+                    assert (chunk >= bucket.mbr.low - 1e-12).all()
+                    assert (chunk <= bucket.mbr.high + 1e-12).all()
+        finally:
+            disk.close()
+
+    def test_page_mbr_covers_buckets(self, rng):
+        disk, mux = build(rng.random((100, 2)))
+        try:
+            for page in mux.pages:
+                for bucket in page.buckets:
+                    assert (page.mbr.low <= bucket.mbr.low + 1e-12).all()
+                    assert (page.mbr.high >= bucket.mbr.high - 1e-12).all()
+        finally:
+            disk.close()
+
+    def test_mbr_overhead_reduces_capacity(self, rng):
+        """Smaller buckets → more bucket MBRs → fewer records per page."""
+        pts = rng.random((400, 8))
+        d_small, mux_small = build(pts, page_bytes=4096, bucket_records=4)
+        d_big, mux_big = build(pts, page_bytes=4096, bucket_records=64)
+        try:
+            assert mux_small.records_per_page < mux_big.records_per_page
+            assert (mux_small.storage_overhead_fraction()
+                    > mux_big.storage_overhead_fraction())
+        finally:
+            d_small.close()
+            d_big.close()
+
+    def test_rejects_too_small_page(self, rng):
+        with SimulatedDisk() as disk:
+            with pytest.raises(ValueError):
+                MultipageIndex.bulk_load(np.arange(5), rng.random((5, 16)),
+                                         disk, page_bytes=64,
+                                         bucket_records=1)
+
+    def test_rejects_empty(self):
+        with SimulatedDisk() as disk:
+            with pytest.raises(ValueError):
+                MultipageIndex.bulk_load(np.empty(0, dtype=np.int64),
+                                         np.empty((0, 2)), disk, 4096, 8)
+
+
+class TestPageAccess:
+    def test_read_page_is_one_access(self, rng):
+        disk, mux = build(rng.random((300, 2)))
+        try:
+            disk.reset_accounting()
+            mux.read_page(0)
+            assert disk.counters.total_reads == 1
+        finally:
+            disk.close()
+
+    def test_read_page_returns_page_records(self, rng):
+        pts = rng.random((100, 2))
+        disk, mux = build(pts)
+        try:
+            ids, out = mux.read_page(0)
+            page = mux.pages[0]
+            assert len(ids) == len(page)
+        finally:
+            disk.close()
+
+    def test_pool_counts_hits(self, rng):
+        disk, mux = build(rng.random((300, 2)))
+        try:
+            pool = mux.make_page_pool(2)
+            pool.get(0)
+            pool.get(0)
+            assert pool.stats.hits == 1
+        finally:
+            disk.close()

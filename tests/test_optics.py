@@ -1,0 +1,168 @@
+"""Tests for OPTICS on top of the similarity join."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dbscan import dbscan
+from repro.apps.optics import UNDEFINED, optics
+from repro.core.ego_join import ego_self_join
+from repro.core.result import JoinResult
+
+
+def blobs(rng, centers, per=60, std=0.02, noise=0):
+    parts = [c + rng.normal(0, std, (per, len(c))) for c in centers]
+    if noise:
+        parts.append(rng.random((noise, len(centers[0]))))
+    return np.vstack(parts)
+
+
+class TestOrderingInvariants:
+    def test_ordering_is_permutation(self, rng):
+        pts = rng.random((120, 3))
+        res = optics(pts, 0.3, 5)
+        assert sorted(res.ordering.tolist()) == list(range(120))
+
+    def test_first_point_has_undefined_reachability(self, rng):
+        pts = rng.random((50, 2))
+        res = optics(pts, 0.3, 4)
+        assert np.isinf(res.reachability[res.ordering[0]])
+
+    def test_core_distance_definition(self, rng):
+        """Core distance = distance to the min_pts-th closest object
+        (counting the point itself), undefined below min_pts."""
+        pts = rng.random((60, 2))
+        eps, mp = 0.25, 5
+        res = optics(pts, eps, mp)
+        diff = pts[:, None, :] - pts[None, :, :]
+        d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        for p in range(60):
+            within = np.sort(d[p][d[p] <= eps])  # includes self (0.0)
+            if len(within) >= mp:
+                assert res.core_distance[p] == pytest.approx(
+                    within[mp - 1])
+            else:
+                assert np.isinf(res.core_distance[p])
+
+    def test_min_pts_one_core_distance_zero(self, rng):
+        pts = rng.random((20, 2))
+        res = optics(pts, 0.3, 1)
+        assert (res.core_distance == 0).all()
+
+    def test_reachability_at_least_core_distance(self, rng):
+        """Reachability of any reached point >= some core distance and
+        >= the actual distance; in particular it is never below the
+        global minimum core distance."""
+        pts = rng.random((80, 2))
+        res = optics(pts, 0.4, 4)
+        finite = np.isfinite(res.reachability)
+        if finite.any():
+            assert res.reachability[finite].min() >= \
+                res.core_distance.min() - 1e-12
+
+    def test_reachability_plot_aligned(self, rng):
+        pts = rng.random((40, 2))
+        res = optics(pts, 0.3, 4)
+        plot = res.reachability_plot()
+        assert len(plot) == 40
+        assert np.isinf(plot[0])
+
+
+class TestClusterStructure:
+    def test_separated_blobs_form_valleys(self, rng):
+        pts = blobs(rng, np.array([[0.2, 0.2], [0.8, 0.8]]))
+        res = optics(pts, 0.2, 5)
+        plot = res.reachability_plot()
+        finite = plot[np.isfinite(plot)]
+        # Deep valleys: most reachabilities tiny, separated by one jump.
+        assert np.median(finite) < 0.03
+        assert np.isinf(plot).sum() <= 2
+
+    def test_extract_dbscan_matches_dbscan_on_core_points(self, rng):
+        pts = blobs(rng, np.array([[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]]),
+                    noise=25)
+        eps, mp = 0.08, 5
+        res = optics(pts, eps, mp)
+        labels = res.extract_dbscan(eps)
+        ref = dbscan(pts, eps, mp)
+        # Same number of clusters and a consistent relabeling on cores.
+        assert len(set(labels[labels >= 0].tolist())) == ref.num_clusters
+        mapping = {}
+        for o, d in zip(labels[ref.core_mask], ref.labels[ref.core_mask]):
+            assert o != -1 and d != -1
+            assert mapping.setdefault(int(o), int(d)) == int(d)
+
+    def test_extract_at_smaller_eps_prime(self, rng):
+        pts = blobs(rng, np.array([[0.2, 0.2], [0.8, 0.8]]), std=0.01)
+        res = optics(pts, 0.3, 5)
+        labels = res.extract_dbscan(0.05)
+        ref = dbscan(pts, 0.05, 5)
+        assert len(set(labels[labels >= 0].tolist())) == ref.num_clusters
+
+    def test_extract_rejects_eps_above_generating(self, rng):
+        res = optics(rng.random((20, 2)), 0.2, 3)
+        with pytest.raises(ValueError):
+            res.extract_dbscan(0.5)
+
+    def test_isolated_points_stay_noise(self, rng):
+        pts = np.vstack([blobs(rng, np.array([[0.5, 0.5]]), std=0.005),
+                         [[0.01, 0.01]]])
+        res = optics(pts, 0.1, 5)
+        labels = res.extract_dbscan(0.1)
+        assert labels[-1] == -1
+
+
+class TestInputs:
+    def test_precomputed_join_accepted(self, rng):
+        pts = rng.random((60, 2))
+        join = JoinResult(collect_distances=True)
+        ego_self_join(pts, 0.3, result=join)
+        a = optics(pts, 0.3, 4, join_result=join)
+        b = optics(pts, 0.3, 4)
+        np.testing.assert_array_equal(a.ordering, b.ordering)
+        np.testing.assert_allclose(a.reachability, b.reachability)
+
+    def test_rejects_distance_free_join(self, rng):
+        pts = rng.random((20, 2))
+        join = ego_self_join(pts, 0.3)
+        with pytest.raises(ValueError):
+            optics(pts, 0.3, 4, join_result=join)
+
+    def test_rejects_bad_min_pts(self, rng):
+        with pytest.raises(ValueError):
+            optics(rng.random((10, 2)), 0.3, 0)
+
+
+class TestDistanceCollection:
+    def test_join_distances_match_geometry(self, rng):
+        pts = rng.random((80, 3))
+        join = JoinResult(collect_distances=True)
+        ego_self_join(pts, 0.35, result=join)
+        a, b = join.pairs()
+        d = join.distances()
+        expected = np.linalg.norm(pts[a] - pts[b], axis=1)
+        np.testing.assert_allclose(d, expected, rtol=1e-9)
+        assert (d <= 0.35 + 1e-12).all()
+
+    def test_scalar_engine_also_collects(self, rng):
+        pts = rng.random((30, 2))
+        join = JoinResult(collect_distances=True)
+        ego_self_join(pts, 0.4, result=join, engine="scalar")
+        d = join.distances()
+        a, b = join.pairs()
+        np.testing.assert_allclose(
+            d, np.linalg.norm(pts[a] - pts[b], axis=1), rtol=1e-9)
+
+    def test_result_guards(self):
+        r = JoinResult(collect_distances=True)
+        with pytest.raises(ValueError):
+            r.add_batch(np.array([1]), np.array([2]))
+        r2 = JoinResult()
+        r2.add_pair(1, 2)
+        with pytest.raises(RuntimeError):
+            r2.distances()
+
+    def test_mismatched_distance_length_rejected(self):
+        r = JoinResult(collect_distances=True)
+        with pytest.raises(ValueError):
+            r.add_batch(np.array([1, 2]), np.array([3, 4]),
+                        distances=np.array([0.1]))

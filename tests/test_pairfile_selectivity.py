@@ -1,0 +1,149 @@
+"""Tests for disk-backed result spilling and selectivity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.selectivity import grid_selectivity, sample_selectivity
+from repro.core.ego_join import ego_self_join
+from repro.data.synthetic import gaussian_clusters, uniform
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pairfile import PairFile, SpillingCollector
+
+
+class TestPairFile:
+    def test_round_trip_without_distances(self, temp_disk, rng):
+        pf = PairFile.create(temp_disk)
+        a = rng.integers(0, 1000, 50)
+        b = rng.integers(0, 1000, 50)
+        pf.append(a, b)
+        pf.close()
+        out_a, out_b, out_d = pf.read_all()
+        np.testing.assert_array_equal(out_a, a)
+        np.testing.assert_array_equal(out_b, b)
+        assert out_d is None
+
+    def test_round_trip_with_distances(self, temp_disk, rng):
+        pf = PairFile.create(temp_disk, with_distances=True)
+        a = rng.integers(0, 100, 30)
+        b = rng.integers(0, 100, 30)
+        d = rng.random(30)
+        pf.append(a, b, distances=d)
+        out_a, out_b, out_d = pf.read_all()
+        np.testing.assert_array_equal(out_a, a)
+        np.testing.assert_allclose(out_d, d)
+
+    def test_reopen(self, temp_disk, rng):
+        pf = PairFile.create(temp_disk)
+        pf.append(np.array([1, 2]), np.array([3, 4]))
+        pf.close()
+        reopened = PairFile.open(temp_disk)
+        assert reopened.count == 2
+        assert not reopened.with_distances
+
+    def test_open_rejects_garbage(self, temp_disk):
+        temp_disk.write(0, b"definitely not a pair file at all....")
+        with pytest.raises(ValueError):
+            PairFile.open(temp_disk)
+
+    def test_missing_distances_rejected(self, temp_disk):
+        pf = PairFile.create(temp_disk, with_distances=True)
+        with pytest.raises(ValueError):
+            pf.append(np.array([1]), np.array([2]))
+
+    def test_range_bounds_checked(self, temp_disk):
+        pf = PairFile.create(temp_disk)
+        pf.append(np.array([1]), np.array([2]))
+        with pytest.raises(IndexError):
+            pf.read_range(0, 5)
+
+    def test_iter_batches(self, temp_disk, rng):
+        pf = PairFile.create(temp_disk)
+        pf.append(rng.integers(0, 9, 25), rng.integers(0, 9, 25))
+        sizes = [len(a) for a, _b, _d in pf.iter_batches(batch=10)]
+        assert sizes == [10, 10, 5]
+
+    def test_appends_are_sequential_io(self, temp_disk, rng):
+        pf = PairFile.create(temp_disk)
+        temp_disk.reset_accounting()
+        for _ in range(5):
+            pf.append(rng.integers(0, 9, 100), rng.integers(0, 9, 100))
+        assert temp_disk.counters.random_writes <= 1
+        assert temp_disk.counters.sequential_writes >= 4
+
+
+class TestSpillingCollector:
+    def test_spilled_join_matches_live(self, rng):
+        pts = rng.random((500, 3))
+        eps = 0.15
+        live = ego_self_join(pts, eps)
+        with SimulatedDisk() as disk:
+            pf = PairFile.create(disk)
+            collector = SpillingCollector(pf, buffer_pairs=64)
+            result = collector.make_result()
+            ego_self_join(pts, eps, result=result)
+            collector.close()
+            a, b, _ = pf.read_all()
+            spilled = set(zip(np.minimum(a, b).tolist(),
+                              np.maximum(a, b).tolist()))
+        assert spilled == live.canonical_pair_set()
+
+    def test_spilling_result_does_not_materialize(self, rng):
+        with SimulatedDisk() as disk:
+            pf = PairFile.create(disk)
+            collector = SpillingCollector(pf)
+            result = collector.make_result()
+            ego_self_join(rng.random((100, 2)), 0.2, result=result)
+            with pytest.raises(RuntimeError):
+                result.pairs()
+            collector.close()
+            assert pf.count == result.count
+
+    def test_distance_pairfile_rejected_for_callbacks(self, temp_disk):
+        pf = PairFile.create(temp_disk, with_distances=True)
+        collector = SpillingCollector(pf)
+        with pytest.raises(ValueError):
+            collector.make_result()
+
+    def test_rejects_bad_buffer(self, temp_disk):
+        pf = PairFile.create(temp_disk)
+        with pytest.raises(ValueError):
+            SpillingCollector(pf, buffer_pairs=0)
+
+
+class TestSelectivity:
+    def test_sampling_estimator_accuracy(self):
+        pts = uniform(6000, 4, seed=11)
+        eps = 0.06
+        true = ego_self_join(pts, eps).count
+        est = sample_selectivity(pts, eps, len(pts), sample=1500)
+        assert est == pytest.approx(true, rel=0.5)
+
+    def test_sampling_estimator_on_clusters(self):
+        pts = gaussian_clusters(5000, 4, seed=12)
+        eps = 0.03
+        true = ego_self_join(pts, eps).count
+        est = sample_selectivity(pts, eps, len(pts), sample=1500)
+        assert est == pytest.approx(true, rel=0.5)
+
+    def test_grid_estimator_on_uniform(self):
+        pts = uniform(6000, 4, seed=13)
+        eps = 0.05
+        true = ego_self_join(pts, eps).count
+        est = grid_selectivity(pts, eps, len(pts))
+        assert est == pytest.approx(true, rel=1.0)
+
+    def test_scales_quadratically(self):
+        pts = uniform(2000, 3, seed=14)
+        small = sample_selectivity(pts, 0.05, 2000, sample=800)
+        big = sample_selectivity(pts, 0.05, 4000, sample=800)
+        assert big == pytest.approx(4 * small, rel=0.01)
+
+    def test_degenerate_inputs(self):
+        assert sample_selectivity(np.zeros((1, 2)), 0.1, 100) == 0.0
+        assert grid_selectivity(np.zeros((1, 2)), 0.1, 100) == 0.0
+
+    def test_monotone_in_epsilon(self):
+        pts = uniform(3000, 3, seed=15)
+        lo = grid_selectivity(pts, 0.02, 3000)
+        hi = grid_selectivity(pts, 0.08, 3000)
+        assert hi > lo

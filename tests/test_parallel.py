@@ -1,0 +1,117 @@
+"""Tests for the parallel EGO self-join (the paper's future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ego_join import ego_self_join
+from repro.core.parallel import (build_tasks, chunk_boundaries,
+                                 ego_self_join_parallel)
+from repro.core.ego_order import ego_sorted
+
+from conftest import brute_truth
+
+
+class TestChunkBoundaries:
+    def test_covers_everything(self):
+        ranges = chunk_boundaries(100, 7)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 100
+        for (a, b), (c, _d) in zip(ranges, ranges[1:]):
+            assert b == c
+            assert a < b
+
+    def test_more_chunks_than_records(self):
+        ranges = chunk_boundaries(3, 10)
+        assert len(ranges) == 3
+        assert all(hi - lo == 1 for lo, hi in ranges)
+
+    def test_zero_records(self):
+        assert chunk_boundaries(0, 4) == []
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ValueError):
+            chunk_boundaries(10, 0)
+
+
+class TestBuildTasks:
+    def test_contains_all_self_tasks(self, rng):
+        eps = 0.2
+        _ids, pts = ego_sorted(rng.random((50, 2)), eps)
+        ranges = chunk_boundaries(50, 5)
+        tasks = build_tasks(pts, eps, ranges)
+        self_tasks = [t for t in tasks if t[4]]
+        assert len(self_tasks) == 5
+
+    def test_distant_chunk_pairs_pruned(self, rng):
+        """With a tiny eps, only adjacent chunks can pair up."""
+        eps = 0.001
+        _ids, pts = ego_sorted(rng.random((1000, 1)), eps)
+        ranges = chunk_boundaries(1000, 10)
+        tasks = build_tasks(pts, eps, ranges)
+        cross = [t for t in tasks if not t[4]]
+        # Far fewer than the full 45 cross pairs.
+        assert len(cross) < 15
+
+    def test_wide_eps_keeps_all_pairs(self, rng):
+        eps = 5.0
+        _ids, pts = ego_sorted(rng.random((40, 2)), eps)
+        ranges = chunk_boundaries(40, 4)
+        tasks = build_tasks(pts, eps, ranges)
+        assert len(tasks) == 4 + 6  # all self + all cross pairs
+
+
+class TestParallelJoin:
+    def test_inline_matches_serial(self, rng):
+        pts = rng.random((300, 4))
+        eps = 0.3
+        par = ego_self_join_parallel(pts, eps, workers=1)
+        ser = ego_self_join(pts, eps)
+        assert par.canonical_pair_set() == ser.canonical_pair_set()
+
+    def test_pool_matches_serial(self, rng):
+        pts = rng.random((400, 3))
+        eps = 0.25
+        par = ego_self_join_parallel(pts, eps, workers=2, chunks=6)
+        assert par.canonical_pair_set() == brute_truth(pts, eps)
+
+    def test_no_duplicates_across_tasks(self, rng):
+        pts = rng.random((250, 2))
+        par = ego_self_join_parallel(pts, 0.4, workers=1, chunks=9)
+        a, b = par.pairs()
+        canon = set(zip(np.minimum(a, b).tolist(),
+                        np.maximum(a, b).tolist()))
+        assert len(canon) == len(a)
+
+    def test_single_chunk_degenerates_to_serial(self, rng):
+        pts = rng.random((80, 3))
+        par = ego_self_join_parallel(pts, 0.3, workers=1, chunks=1)
+        assert par.canonical_pair_set() == brute_truth(pts, 0.3)
+
+    def test_custom_ids(self, rng):
+        pts = rng.random((60, 2))
+        ids = np.arange(500, 560)
+        par = ego_self_join_parallel(pts, 0.3, ids=ids, workers=1)
+        a, b = par.pairs()
+        if len(a):
+            assert a.min() >= 500 and b.max() < 560
+
+    def test_empty_input(self):
+        par = ego_self_join_parallel(np.empty((0, 2)), 0.5, workers=1)
+        assert par.count == 0
+
+    def test_rejects_bad_workers(self, rng):
+        with pytest.raises(ValueError):
+            ego_self_join_parallel(rng.random((5, 2)), 0.3, workers=0)
+
+    @given(st.integers(min_value=1, max_value=80),
+           st.integers(min_value=1, max_value=12),
+           st.floats(min_value=0.05, max_value=1.0),
+           st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_chunking_invariance(self, n, chunks, eps, seed):
+        """Any chunk count yields the same pair set (inline pool)."""
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, 3))
+        par = ego_self_join_parallel(pts, eps, workers=1, chunks=chunks)
+        assert par.canonical_pair_set() == brute_truth(pts, eps)

@@ -1,0 +1,114 @@
+"""Tests for the fixed-width record codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.records import RecordCodec, record_size
+
+
+class TestRecordSize:
+    def test_scales_with_dimensions(self):
+        assert record_size(1) == 16
+        assert record_size(8) == 72
+        assert record_size(16) == 136
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            record_size(bad)
+
+
+class TestCodecRoundTrip:
+    def test_simple_round_trip(self):
+        codec = RecordCodec(3)
+        ids = np.array([1, 2, 3], dtype=np.int64)
+        pts = np.array([[0.1, 0.2, 0.3], [1, 2, 3], [-1, -2, -3]])
+        out_ids, out_pts = codec.decode(codec.encode(ids, pts))
+        np.testing.assert_array_equal(out_ids, ids)
+        np.testing.assert_allclose(out_pts, pts)
+
+    def test_empty_round_trip(self):
+        codec = RecordCodec(2)
+        ids, pts = codec.decode(codec.encode(
+            np.empty(0, dtype=np.int64), np.empty((0, 2))))
+        assert len(ids) == 0
+        assert pts.shape == (0, 2)
+
+    def test_extreme_ids_preserved_exactly(self):
+        codec = RecordCodec(1)
+        ids = np.array([0, -1, 2**62, -(2**62)], dtype=np.int64)
+        pts = np.zeros((4, 1))
+        out_ids, _ = codec.decode(codec.encode(ids, pts))
+        np.testing.assert_array_equal(out_ids, ids)
+
+    def test_special_floats_preserved(self):
+        codec = RecordCodec(2)
+        pts = np.array([[np.inf, -np.inf], [np.nan, 0.0]])
+        _, out = codec.decode(codec.encode(np.arange(2), pts))
+        assert np.isinf(out[0, 0]) and np.isinf(out[0, 1])
+        assert np.isnan(out[1, 0]) and out[1, 1] == 0.0
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=50))
+    def test_round_trip_property(self, dims, n):
+        rng = np.random.default_rng(dims * 100 + n)
+        codec = RecordCodec(dims)
+        ids = rng.integers(-2**40, 2**40, size=n).astype(np.int64)
+        pts = rng.normal(size=(n, dims))
+        out_ids, out_pts = codec.decode(codec.encode(ids, pts))
+        np.testing.assert_array_equal(out_ids, ids)
+        np.testing.assert_array_equal(out_pts, pts)
+
+
+class TestCodecValidation:
+    def test_encode_rejects_wrong_dimension(self):
+        codec = RecordCodec(3)
+        with pytest.raises(ValueError):
+            codec.encode(np.arange(2), np.zeros((2, 4)))
+
+    def test_encode_rejects_mismatched_lengths(self):
+        codec = RecordCodec(2)
+        with pytest.raises(ValueError):
+            codec.encode(np.arange(3), np.zeros((2, 2)))
+
+    def test_decode_rejects_partial_record(self):
+        codec = RecordCodec(2)
+        with pytest.raises(ValueError):
+            codec.decode(b"\x00" * (codec.record_bytes + 1))
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            RecordCodec(0)
+
+
+class TestFragmentGeometry:
+    def test_aligned_window_has_no_fragments(self):
+        codec = RecordCodec(1)  # 16-byte records
+        head, tail = codec.split_fragments(start_offset=32, data_len=64)
+        assert (head, tail) == (0, 0)
+
+    def test_head_fragment(self):
+        codec = RecordCodec(1)
+        head, tail = codec.split_fragments(start_offset=8, data_len=40)
+        assert head == 8
+        assert tail == (40 - 8) % 16
+
+    def test_window_inside_one_record(self):
+        codec = RecordCodec(3)  # 32-byte records
+        head, tail = codec.split_fragments(start_offset=5, data_len=10)
+        assert head == 10 and tail == 0
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=300))
+    def test_fragment_invariants(self, dims, offset, length):
+        codec = RecordCodec(dims)
+        head, tail = codec.split_fragments(offset, length)
+        assert 0 <= head <= length
+        assert 0 <= tail < codec.record_bytes or tail == 0
+        body = length - head - tail
+        assert body >= 0
+        assert body % codec.record_bytes == 0
+        if head < length:
+            assert (offset + head) % codec.record_bytes == 0

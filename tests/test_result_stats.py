@@ -1,0 +1,117 @@
+"""Tests for JoinResult collection and the operation counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import JoinResult
+from repro.storage.stats import CPUCounters, IOCounters, OperationStats
+
+
+class TestJoinResult:
+    def test_add_and_pairs(self):
+        r = JoinResult()
+        r.add_batch(np.array([1, 2]), np.array([3, 4]))
+        r.add_pair(5, 6)
+        a, b = r.pairs()
+        assert a.tolist() == [1, 2, 5]
+        assert b.tolist() == [3, 4, 6]
+        assert len(r) == 3
+
+    def test_empty_pairs(self):
+        r = JoinResult()
+        a, b = r.pairs()
+        assert len(a) == 0 and len(b) == 0
+
+    def test_mismatched_batch_rejected(self):
+        r = JoinResult()
+        with pytest.raises(ValueError):
+            r.add_batch(np.array([1]), np.array([2, 3]))
+
+    def test_zero_length_batch_ignored(self):
+        r = JoinResult()
+        r.add_batch(np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64))
+        assert r.count == 0
+
+    def test_count_only_mode(self):
+        r = JoinResult(materialize=False)
+        r.add_batch(np.array([1]), np.array([2]))
+        assert r.count == 1
+        with pytest.raises(RuntimeError):
+            r.pairs()
+
+    def test_callback_streams_batches(self):
+        seen = []
+        r = JoinResult(materialize=False,
+                       callback=lambda a, b: seen.append((a.copy(),
+                                                          b.copy())))
+        r.add_batch(np.array([1, 2]), np.array([3, 4]))
+        r.add_pair(9, 9)
+        assert len(seen) == 2
+        assert seen[0][0].tolist() == [1, 2]
+
+    def test_pair_set_and_canonical(self):
+        r = JoinResult()
+        r.add_pair(5, 2)
+        r.add_pair(2, 5)
+        assert r.pair_set() == {(5, 2), (2, 5)}
+        assert r.canonical_pair_set() == {(2, 5)}
+
+
+class TestIOCounters:
+    def test_arithmetic(self):
+        a = IOCounters(random_reads=2, bytes_read=100)
+        b = IOCounters(random_reads=1, sequential_writes=3)
+        s = a + b
+        assert s.random_reads == 3
+        assert s.sequential_writes == 3
+        assert s.bytes_read == 100
+        d = s - b
+        assert d.random_reads == 2
+        assert d.sequential_writes == 0
+
+    def test_snapshot_is_independent(self):
+        a = IOCounters(random_reads=1)
+        snap = a.snapshot()
+        a.random_reads = 99
+        assert snap.random_reads == 1
+
+    def test_reset(self):
+        a = IOCounters(random_reads=5, bytes_written=10)
+        a.reset()
+        assert a.total_accesses == 0
+
+    def test_totals(self):
+        a = IOCounters(random_reads=1, sequential_reads=2,
+                       random_writes=3, sequential_writes=4)
+        assert a.total_reads == 3
+        assert a.total_writes == 7
+        assert a.total_accesses == 10
+
+
+class TestCPUCounters:
+    def test_arithmetic_and_snapshot(self):
+        a = CPUCounters(distance_calculations=10, mbr_tests=2)
+        b = CPUCounters(distance_calculations=5)
+        assert (a + b).distance_calculations == 15
+        assert (a - b).distance_calculations == 5
+        snap = a.snapshot()
+        a.mbr_tests = 0
+        assert snap.mbr_tests == 2
+
+    def test_reset(self):
+        a = CPUCounters(sequence_pairs=7)
+        a.reset()
+        assert a.sequence_pairs == 0
+
+
+class TestOperationStats:
+    def test_bundle_arithmetic(self):
+        a = OperationStats()
+        a.io.bytes_read = 10
+        a.cpu.distance_calculations = 3
+        b = a + a
+        assert b.io.bytes_read == 20
+        assert b.cpu.distance_calculations == 6
+        a.reset()
+        assert a.io.bytes_read == 0

@@ -1,0 +1,161 @@
+"""Tests for the bulk-loaded R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.index.rtree import RTree
+from repro.storage.disk import SimulatedDisk
+
+
+def build(points, page_records=8, fanout=4, method="str"):
+    disk = SimulatedDisk()
+    ids = np.arange(len(points), dtype=np.int64)
+    tree = RTree.bulk_load(ids, np.asarray(points, dtype=float), disk,
+                           page_records, fanout=fanout, method=method)
+    return disk, tree
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("method", ["str", "zorder", "hilbert"])
+    def test_invariants_hold(self, rng, method):
+        disk, tree = build(rng.random((100, 3)), method=method)
+        try:
+            tree.validate()
+            assert tree.num_leaves == -(-100 // 8)
+        finally:
+            disk.close()
+
+    def test_all_points_stored(self, rng):
+        pts = rng.random((57, 2))
+        disk, tree = build(pts)
+        try:
+            seen = []
+            for page in range(tree.num_leaves):
+                ids, _ = tree.read_leaf(page)
+                seen.extend(ids.tolist())
+            assert sorted(seen) == list(range(57))
+        finally:
+            disk.close()
+
+    def test_single_page_tree(self, rng):
+        disk, tree = build(rng.random((5, 2)), page_records=8)
+        try:
+            assert tree.num_leaves == 1
+            assert tree.root.is_leaf
+            assert tree.height == 0
+        finally:
+            disk.close()
+
+    def test_multi_level_directory(self, rng):
+        disk, tree = build(rng.random((200, 2)), page_records=4, fanout=4)
+        try:
+            assert tree.height >= 2
+            tree.validate()
+        finally:
+            disk.close()
+
+    def test_rejects_empty(self):
+        with SimulatedDisk() as disk:
+            with pytest.raises(ValueError):
+                RTree.bulk_load(np.empty(0, dtype=np.int64),
+                                np.empty((0, 2)), disk, 8)
+
+    def test_rejects_bad_parameters(self, rng):
+        with SimulatedDisk() as disk:
+            pts = rng.random((5, 2))
+            ids = np.arange(5)
+            with pytest.raises(ValueError):
+                RTree.bulk_load(ids, pts, disk, 0)
+            with pytest.raises(ValueError):
+                RTree.bulk_load(ids, pts, disk, 8, fanout=1)
+            with pytest.raises(ValueError):
+                RTree.bulk_load(np.arange(3), pts, disk, 8)
+
+    def test_str_produces_spatial_locality(self, rng):
+        """STR pages should have small MBRs compared to random packing."""
+        pts = rng.random((256, 2))
+        disk, tree = build(pts, page_records=16)
+        try:
+            str_vol = sum(n.mbr.volume() for n in tree.leaf_nodes)
+            # Random (insertion-order) packing for comparison.
+            per_page = [pts[i:i + 16] for i in range(0, 256, 16)]
+            rand_vol = sum(
+                float(np.prod(c.max(axis=0) - c.min(axis=0)))
+                for c in per_page)
+            assert str_vol < rand_vol
+        finally:
+            disk.close()
+
+
+class TestLeafAccess:
+    def test_leaf_read_is_one_access(self, rng):
+        disk, tree = build(rng.random((64, 2)))
+        try:
+            disk.reset_accounting()
+            tree.read_leaf(3)
+            assert disk.counters.total_reads == 1
+        finally:
+            disk.close()
+
+    def test_leaf_pool_caches(self, rng):
+        disk, tree = build(rng.random((64, 2)))
+        try:
+            pool = tree.make_leaf_pool(4)
+            pool.get(0)
+            pool.get(0)
+            assert pool.stats.hits == 1
+        finally:
+            disk.close()
+
+    def test_last_leaf_may_be_partial(self, rng):
+        disk, tree = build(rng.random((10, 2)), page_records=8)
+        try:
+            ids, pts = tree.read_leaf(tree.num_leaves - 1)
+            assert len(ids) == 2
+        finally:
+            disk.close()
+
+
+class TestRangeQuery:
+    def test_matches_linear_scan(self, rng):
+        pts = rng.random((150, 3))
+        disk, tree = build(pts)
+        try:
+            for _ in range(5):
+                center = rng.random(3)
+                radius = 0.3
+                expected = {
+                    i for i in range(150)
+                    if np.linalg.norm(pts[i] - center) <= radius}
+                got = set(tree.range_query(center, radius).tolist())
+                assert got == expected
+        finally:
+            disk.close()
+
+    def test_zero_radius(self, rng):
+        pts = rng.random((20, 2))
+        disk, tree = build(pts)
+        try:
+            got = set(tree.range_query(pts[7], 0.0).tolist())
+            assert 7 in got
+        finally:
+            disk.close()
+
+    def test_rejects_negative_radius(self, rng):
+        disk, tree = build(rng.random((5, 2)))
+        try:
+            with pytest.raises(ValueError):
+                tree.range_query(np.zeros(2), -1.0)
+        finally:
+            disk.close()
+
+    def test_query_through_pool_counts_io(self, rng):
+        pts = rng.random((100, 2))
+        disk, tree = build(pts)
+        try:
+            pool = tree.make_leaf_pool(2)
+            disk.reset_accounting()
+            tree.range_query(np.array([0.5, 0.5]), 0.2, pool=pool)
+            assert disk.counters.total_reads == pool.stats.misses
+        finally:
+            disk.close()

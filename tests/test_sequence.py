@@ -1,0 +1,115 @@
+"""Tests for Sequence and active/inactive dimensions (Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ego_order import ego_sorted
+from repro.core.sequence import Sequence
+
+
+def seq_of(points, epsilon):
+    """EGO-sort points and wrap them in a Sequence."""
+    ids, pts = ego_sorted(np.asarray(points, dtype=float), epsilon)
+    return Sequence(ids, pts, epsilon)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sequence(np.empty(0, dtype=np.int64), np.empty((0, 2)), 1.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Sequence(np.arange(2), np.zeros((3, 2)), 1.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            Sequence(np.arange(1), np.zeros((1, 2)), -1.0)
+
+    def test_basic_properties(self):
+        s = seq_of([[0.1, 0.2], [0.9, 0.8]], 1.0)
+        assert len(s) == 2
+        assert s.dimensions == 2
+        np.testing.assert_allclose(s.first_point, [0.1, 0.2])
+        np.testing.assert_allclose(s.last_point, [0.9, 0.8])
+
+
+class TestActiveDimension:
+    def test_all_in_one_cell_no_active(self):
+        s = seq_of([[0.1, 0.1], [0.5, 0.9], [0.9, 0.3]], 1.0)
+        assert s.active_dimension() is None
+        assert s.inactive_count() == 2
+
+    def test_first_dimension_active(self):
+        s = seq_of([[0.5, 0.5], [1.5, 0.5]], 1.0)
+        assert s.active_dimension() == 0
+        assert s.inactive_count() == 0
+
+    def test_second_dimension_active(self):
+        """First dim same cell, second differs: Figure 5's situation."""
+        s = seq_of([[0.5, 0.2, 0.9], [0.6, 1.7, 0.1]], 1.0)
+        assert s.active_dimension() == 1
+        assert s.inactive_count() == 1
+
+    def test_single_point_all_inactive(self):
+        s = seq_of([[3.3, 4.4]], 1.0)
+        assert s.active_dimension() is None
+
+    def test_active_dim_from_first_and_last_only(self):
+        """Definition 2 looks only at p_1 and p_k."""
+        pts = [[0.1, 0.1], [0.2, 5.0], [0.3, 9.9]]
+        s = seq_of(pts, 10.0)  # all in cell (0, 0) at eps=10
+        assert s.active_dimension() is None
+
+    def test_cells_cached(self):
+        s = seq_of([[0.5, 1.5], [2.5, 0.5]], 1.0)
+        assert s.first_cells.tolist() == [0, 1]
+        assert s.last_cells.tolist() == [2, 0]
+
+
+class TestHalving:
+    def test_halves_partition_the_sequence(self, rng):
+        s = seq_of(rng.random((11, 2)), 0.3)
+        f, g = s.first_half(), s.second_half()
+        assert len(f) == 6 and len(g) == 5
+        np.testing.assert_allclose(np.vstack([f.points, g.points]),
+                                   s.points)
+
+    def test_halves_are_views(self, rng):
+        s = seq_of(rng.random((8, 2)), 0.3)
+        f = s.first_half()
+        assert f.points.base is not None
+
+    def test_two_point_split(self):
+        s = seq_of([[0.1, 0.1], [0.9, 0.9]], 1.0)
+        f, g = s.first_half(), s.second_half()
+        assert len(f) == 1 and len(g) == 1
+
+    def test_slice_bounds(self, rng):
+        s = seq_of(rng.random((10, 3)), 0.5)
+        sub = s.slice(2, 7)
+        assert len(sub) == 5
+        np.testing.assert_allclose(sub.points, s.points[2:7])
+
+
+class TestSameStorage:
+    def test_identical_sequence_objects(self, rng):
+        ids, pts = ego_sorted(rng.random((6, 2)), 0.5)
+        a = Sequence(ids, pts, 0.5)
+        b = Sequence(ids, pts, 0.5)
+        assert a.same_storage(b)
+
+    def test_same_slice_of_same_array(self, rng):
+        s = seq_of(rng.random((10, 2)), 0.5)
+        assert s.slice(2, 6).same_storage(s.slice(2, 6))
+
+    def test_different_slices_differ(self, rng):
+        s = seq_of(rng.random((10, 2)), 0.5)
+        assert not s.slice(0, 5).same_storage(s.slice(5, 10))
+        assert not s.slice(0, 5).same_storage(s.slice(0, 6))
+
+    def test_copies_differ(self, rng):
+        ids, pts = ego_sorted(rng.random((4, 2)), 0.5)
+        a = Sequence(ids, pts, 0.5)
+        b = Sequence(ids.copy(), pts.copy(), 0.5)
+        assert not a.same_storage(b)

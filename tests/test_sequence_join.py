@@ -1,0 +1,182 @@
+"""Tests for the recursive sequence join (Figure 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ego_order import ego_sorted
+from repro.core.result import JoinResult
+from repro.core.sequence import Sequence
+from repro.core.sequence_join import (JoinContext, join_point_blocks,
+                                      join_sequences, simple_join)
+from repro.storage.stats import CPUCounters
+
+from conftest import brute_truth
+
+
+def run_self_join(points, epsilon, **kwargs):
+    pts = np.asarray(points, dtype=float)
+    ids, spts = ego_sorted(pts, epsilon)
+    result = JoinResult()
+    ctx = JoinContext(epsilon=epsilon, result=result, **kwargs)
+    seq = Sequence(ids, spts, epsilon)
+    join_sequences(seq, seq, ctx)
+    return result, ctx
+
+
+class TestContextValidation:
+    def test_rejects_bad_minlen(self):
+        with pytest.raises(ValueError):
+            JoinContext(epsilon=1.0, result=JoinResult(), minlen=0)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            JoinContext(epsilon=1.0, result=JoinResult(), engine="gpu")
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            JoinContext(epsilon=0.0, result=JoinResult())
+
+    def test_eps_sq_derived(self):
+        ctx = JoinContext(epsilon=0.5, result=JoinResult())
+        assert ctx.eps_sq == pytest.approx(0.25)
+
+
+class TestSelfJoinCorrectness:
+    @pytest.mark.parametrize("minlen", [1, 2, 8, 64])
+    def test_matches_brute_force(self, rng, minlen):
+        pts = rng.random((120, 3))
+        eps = 0.25
+        result, _ = run_self_join(pts, eps, minlen=minlen)
+        assert result.canonical_pair_set() == brute_truth(pts, eps)
+
+    @pytest.mark.parametrize("engine", ["vector", "scalar"])
+    def test_engines_equivalent(self, rng, engine):
+        pts = rng.random((60, 4))
+        eps = 0.35
+        result, _ = run_self_join(pts, eps, engine=engine, minlen=4)
+        assert result.canonical_pair_set() == brute_truth(pts, eps)
+
+    def test_no_self_pairs(self, rng):
+        pts = rng.random((40, 2))
+        result, _ = run_self_join(pts, 0.5)
+        a, b = result.pairs()
+        assert (a != b).all()
+
+    def test_no_duplicate_pairs(self, rng):
+        pts = rng.random((100, 2))
+        result, _ = run_self_join(pts, 0.4)
+        a, b = result.pairs()
+        canon = set(zip(np.minimum(a, b).tolist(),
+                        np.maximum(a, b).tolist()))
+        assert len(canon) == len(a)
+
+    def test_duplicate_points_pair_up(self):
+        pts = np.array([[0.5, 0.5]] * 4)
+        result, _ = run_self_join(pts, 0.1)
+        assert result.count == 6  # C(4, 2)
+
+    def test_single_point(self):
+        result, _ = run_self_join(np.array([[1.0, 2.0]]), 0.5)
+        assert result.count == 0
+
+    def test_without_dimension_ordering(self, rng):
+        pts = rng.random((80, 5))
+        eps = 0.3
+        result, _ = run_self_join(pts, eps, order_dimensions=False)
+        assert result.canonical_pair_set() == brute_truth(pts, eps)
+
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=1, max_value=4),
+           st.floats(min_value=0.05, max_value=1.5),
+           st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_brute(self, n, d, eps, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, d))
+        result, _ = run_self_join(pts, eps, minlen=3)
+        assert result.canonical_pair_set() == brute_truth(pts, eps)
+
+
+class TestTwoSequenceJoin:
+    def test_cross_join_matches_brute(self, rng):
+        eps = 0.3
+        a = rng.random((50, 3))
+        b = rng.random((40, 3))
+        ids_a, pts_a = ego_sorted(a, eps, ids=np.arange(50))
+        ids_b, pts_b = ego_sorted(b, eps, ids=np.arange(100, 140))
+        result = JoinResult()
+        ctx = JoinContext(epsilon=eps, result=result, minlen=4)
+        join_sequences(Sequence(ids_a, pts_a, eps),
+                       Sequence(ids_b, pts_b, eps), ctx)
+        expected = set()
+        for i in range(50):
+            for j in range(40):
+                if np.linalg.norm(a[i] - b[j]) <= eps:
+                    expected.add((i, 100 + j))
+        assert result.pair_set() == expected
+
+
+class TestPruning:
+    def test_distant_sequences_excluded(self):
+        eps = 0.1
+        a = np.array([[0.05, 0.5], [0.06, 0.7]])
+        b = np.array([[0.95, 0.5], [0.96, 0.7]])
+        ids_a, pts_a = ego_sorted(a, eps)
+        ids_b, pts_b = ego_sorted(b, eps)
+        cpu = CPUCounters()
+        ctx = JoinContext(epsilon=eps, result=JoinResult(), cpu=cpu)
+        join_sequences(Sequence(ids_a, pts_a, eps),
+                       Sequence(ids_b, pts_b, eps), ctx)
+        assert cpu.sequence_exclusions == 1
+        assert cpu.distance_calculations == 0
+
+    def test_exclusion_counts_tracked(self, rng):
+        pts = rng.random((200, 2))
+        _result, ctx = run_self_join(pts, 0.05, minlen=4,
+                                     cpu=CPUCounters())
+        assert ctx.cpu.sequence_pairs > 0
+        assert ctx.cpu.sequence_exclusions > 0
+
+    def test_pruning_saves_distance_calls(self, rng):
+        """With small eps, pruning must beat the all-pairs count."""
+        pts = rng.random((300, 2))
+        _res, ctx = run_self_join(pts, 0.02, minlen=8, cpu=CPUCounters())
+        all_pairs = 300 * 299 // 2
+        assert ctx.cpu.distance_calculations < all_pairs / 3
+
+    def test_looser_threshold_still_correct(self, rng):
+        """Figure 6's '> 2' variant (threshold 3) is safe, just looser."""
+        pts = rng.random((100, 3))
+        eps = 0.3
+        result, _ = run_self_join(pts, eps, exclusion_distance=3)
+        assert result.canonical_pair_set() == brute_truth(pts, eps)
+
+
+class TestSimpleJoinAndBlocks:
+    def test_simple_join_upper_triangle(self, rng):
+        eps = 0.5
+        raw = rng.random((10, 2))
+        ids, pts = ego_sorted(raw, eps)
+        result = JoinResult()
+        ctx = JoinContext(epsilon=eps, result=result)
+        seq = Sequence(ids, pts, eps)
+        simple_join(seq, seq, ctx, upper_triangle=True)
+        assert result.canonical_pair_set() == brute_truth(raw, eps)
+        a, b = result.pairs()
+        assert (a != b).all()
+
+    def test_join_point_blocks_empty(self):
+        ctx = JoinContext(epsilon=1.0, result=JoinResult())
+        join_point_blocks(np.empty(0, dtype=np.int64), np.empty((0, 2)),
+                          np.empty(0, dtype=np.int64), np.empty((0, 2)),
+                          ctx)
+        assert ctx.result.count == 0
+
+    def test_join_point_blocks_same_block(self, rng):
+        eps = 0.4
+        ids, pts = ego_sorted(rng.random((30, 2)), eps)
+        ctx = JoinContext(epsilon=eps, result=JoinResult(), minlen=4)
+        join_point_blocks(ids, pts, ids, pts, ctx, same_block=True)
+        truth = brute_truth(pts[np.argsort(ids)], eps)
+        assert ctx.result.canonical_pair_set() == truth

@@ -1,0 +1,77 @@
+"""Tests for the spatial hash join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.joins.spatial_hash import spatial_hash_self_join
+
+from conftest import brute_truth
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("capacity", [8, 64, 1000])
+    def test_matches_brute(self, rng, capacity):
+        pts = rng.random((250, 3))
+        eps = 0.25
+        rep = spatial_hash_self_join(pts, eps, bucket_capacity=capacity)
+        assert rep.result.canonical_pair_set() == brute_truth(pts, eps)
+
+    def test_no_duplicates_despite_replication(self, rng):
+        pts = rng.random((300, 2))
+        rep = spatial_hash_self_join(pts, 0.3, bucket_capacity=32)
+        a, b = rep.result.pairs()
+        canon = set(zip(np.minimum(a, b).tolist(),
+                        np.maximum(a, b).tolist()))
+        assert len(canon) == len(a)
+        assert (a < b).all()
+
+    def test_single_bucket_degenerates_to_nested_loop(self, rng):
+        pts = rng.random((60, 2))
+        rep = spatial_hash_self_join(pts, 0.3, bucket_capacity=1000)
+        assert rep.extra["buckets"] == 1
+        assert rep.result.canonical_pair_set() == brute_truth(pts, 0.3)
+
+    def test_deterministic_by_seed(self, rng):
+        pts = rng.random((100, 2))
+        a = spatial_hash_self_join(pts, 0.2, seed=5)
+        b = spatial_hash_self_join(pts, 0.2, seed=5)
+        assert a.result.canonical_pair_set() \
+            == b.result.canonical_pair_set()
+
+    def test_empty_input(self):
+        rep = spatial_hash_self_join(np.empty((0, 2)), 0.3)
+        assert rep.result.count == 0
+
+    def test_rejects_bad_capacity(self, rng):
+        with pytest.raises(ValueError):
+            spatial_hash_self_join(rng.random((5, 2)), 0.3,
+                                   bucket_capacity=0)
+
+    @given(st.integers(min_value=1, max_value=80),
+           st.integers(min_value=1, max_value=4),
+           st.floats(min_value=0.05, max_value=0.9),
+           st.integers(min_value=4, max_value=64),
+           st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_brute(self, n, d, eps, capacity, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, d))
+        rep = spatial_hash_self_join(pts, eps, bucket_capacity=capacity)
+        assert rep.result.canonical_pair_set() == brute_truth(pts, eps)
+
+
+class TestReplication:
+    def test_replication_grows_with_epsilon(self, rng):
+        """Object replication is the method's ε-dependent cost."""
+        pts = rng.random((500, 4))
+        small = spatial_hash_self_join(pts, 0.05, bucket_capacity=32)
+        large = spatial_hash_self_join(pts, 0.4, bucket_capacity=32)
+        assert (large.extra["replication_factor"]
+                > small.extra["replication_factor"])
+
+    def test_replication_factor_at_least_one(self, rng):
+        """Every point is at least inside its own bucket's region."""
+        pts = rng.random((200, 3))
+        rep = spatial_hash_self_join(pts, 0.1, bucket_capacity=32)
+        assert rep.extra["replication_factor"] >= 1.0
