@@ -79,6 +79,46 @@ def speedup_summary(times: Mapping[str, Sequence[float]],
     return out
 
 
+def robustness_summary(report) -> Sequence[Mapping[str, Cell]]:
+    """Rows describing the fault/recovery behaviour of one external join.
+
+    ``report`` is an
+    :class:`~repro.core.ego_join.ExternalJoinReport`; the rows pair the
+    faults the plan injected with what the detection and recovery layers
+    did about them, ready for :func:`format_table`::
+
+        print(format_table(robustness_summary(report),
+                           title="robustness"))
+    """
+    rows = []
+    log = report.faults
+    if log is not None:
+        rows.append({"metric": "injected transient read errors",
+                     "value": log.transient_read_errors})
+        rows.append({"metric": "injected corrupted reads",
+                     "value": log.corrupted_reads})
+        rows.append({"metric": "injected torn writes",
+                     "value": log.torn_writes})
+        rows.append({"metric": "injected crashes", "value": log.crashes})
+    io = report.io
+    rows.append({"metric": "read faults seen", "value": io.read_faults})
+    rows.append({"metric": "reads retried", "value": io.read_retries})
+    rows.append({"metric": "corrupt pages detected",
+                 "value": io.corrupt_pages})
+    rows.append({"metric": "retry backoff (simulated s)",
+                 "value": io.retry_backoff_s})
+    rows.append({"metric": "resumed run", "value": report.resumed})
+    if report.resumed:
+        rows.append({"metric": "unit pairs skipped as done",
+                     "value": report.schedule_stats.pairs_resumed})
+    rows.append({"metric": "buffer shrinks under pressure",
+                 "value": report.schedule_stats.pressure_shrinks})
+    if report.total_pairs is not None:
+        rows.append({"metric": "total result pairs",
+                     "value": report.total_pairs})
+    return rows
+
+
 def series_markdown(rows: Sequence[Mapping[str, Cell]],
                     columns: Optional[Sequence[str]] = None) -> str:
     """Render rows as a GitHub-markdown table (for EXPERIMENTS.md)."""

@@ -24,12 +24,15 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis.optimizer import choose_unit_size, estimate_ego_join
+from .analysis.reporting import format_table, robustness_summary
 from .apps.dbscan import dbscan
 from .apps.outliers import distance_based_outliers
 from .core.ego_join import ego_join_files, ego_self_join_file
 from .data.loader import load_points, save_points
 from .data.synthetic import cad_like, gaussian_clusters, uniform
 from .storage.disk import SimulatedDisk
+from .storage.faults import FaultPlan, SimulatedCrash
+from .storage.integrity import CorruptPageError, RetryPolicy
 from .storage.pagefile import PointFile
 from .storage.records import record_size
 
@@ -82,24 +85,104 @@ def _print_pairs(result, limit: int) -> None:
         print(f"... ({len(a) - shown} more pairs)", file=sys.stderr)
 
 
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Build a :class:`FaultPlan` from a ``key=value`` comma list.
+
+    Keys: ``seed``, ``read-errors`` (rate), ``corrupt`` (rate), ``torn``
+    (rate), ``crash`` (operation index, repeatable), ``pressure``
+    (``START-END`` op-index range, repeatable).  Example::
+
+        --faults seed=7,read-errors=0.01,crash=2000,pressure=100-900
+    """
+    kwargs = {"seed": 0, "read_error_rate": 0.0, "corrupt_rate": 0.0,
+              "torn_write_rate": 0.0}
+    crash_ops, pressure = [], []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"fault spec item {item!r} is not key=value")
+        key, value = item.split("=", 1)
+        key = key.strip()
+        if key == "seed":
+            kwargs["seed"] = int(value)
+        elif key == "read-errors":
+            kwargs["read_error_rate"] = float(value)
+        elif key == "corrupt":
+            kwargs["corrupt_rate"] = float(value)
+        elif key == "torn":
+            kwargs["torn_write_rate"] = float(value)
+        elif key == "crash":
+            crash_ops.append(int(value))
+        elif key == "pressure":
+            lo, sep, hi = value.partition("-")
+            if not sep or not lo or not hi:
+                raise ValueError(
+                    f"pressure range {value!r} is not START-END")
+            pressure.append((int(lo), int(hi)))
+        else:
+            raise ValueError(f"unknown fault spec key {key!r}")
+    return FaultPlan(crash_ops=crash_ops, pressure_ranges=pressure,
+                     **kwargs)
+
+
 def cmd_join(args) -> int:
     """Handle ``repro join``."""
+    try:
+        fault_plan = parse_fault_spec(args.faults) if args.faults else None
+        if args.resume and not args.checkpoint:
+            raise ValueError("--resume requires --checkpoint DIR")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if fault_plan is not None and args.resume:
+        # The scheduled crash already happened in the interrupted run.
+        fault_plan = fault_plan.without_crashes()
+    retry = RetryPolicy(max_attempts=args.retries) if args.retries else None
     with SimulatedDisk(path=args.file) as disk:
         pf = PointFile.open(disk)
         unit_bytes, buffer_units = _budget_geometry(
             pf.count, pf.dimensions, args.buffer_fraction)
-        report = ego_self_join_file(pf, args.epsilon,
-                                    unit_bytes=unit_bytes,
-                                    buffer_units=buffer_units,
-                                    materialize=not args.count_only,
-                                    metric=args.metric)
-    print(f"pairs: {report.result.count}", file=sys.stderr)
+        try:
+            report = ego_self_join_file(pf, args.epsilon,
+                                        unit_bytes=unit_bytes,
+                                        buffer_units=buffer_units,
+                                        materialize=not args.count_only,
+                                        metric=args.metric,
+                                        fault_plan=fault_plan,
+                                        retry=retry,
+                                        checksums=args.checksums,
+                                        checkpoint_dir=args.checkpoint,
+                                        resume=args.resume)
+        except SimulatedCrash as exc:
+            print(f"crashed: {exc}", file=sys.stderr)
+            if args.checkpoint:
+                print(f"progress saved; rerun with --checkpoint "
+                      f"{args.checkpoint} --resume to continue",
+                      file=sys.stderr)
+            return 1
+        except CorruptPageError as exc:
+            print(f"data corruption: {exc}", file=sys.stderr)
+            print("rerun with --retries N to mask transient corruption",
+                  file=sys.stderr)
+            return 1
+    pairs = report.total_pairs
+    if pairs is None:
+        pairs = report.result.count
+    print(f"pairs: {pairs}", file=sys.stderr)
     s = report.schedule_stats
     print(f"unit loads: {s.total_unit_loads} "
           f"(crabstep phases: {s.crabstep_phases}); "
           f"simulated I/O: {report.simulated_io_time_s:.3f}s",
           file=sys.stderr)
-    if not args.count_only:
+    if fault_plan is not None or args.checksums or retry is not None \
+            or args.checkpoint:
+        print(format_table(robustness_summary(report),
+                           title="robustness"), file=sys.stderr)
+    if args.checkpoint:
+        print(f"durable result: {report.result_path}", file=sys.stderr)
+    if not args.count_only and report.result.materialize:
         _print_pairs(report.result, args.limit)
     return 0
 
@@ -234,6 +317,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max pairs printed (-1 for all)")
     j.add_argument("--metric", default="euclidean",
                    help="euclidean | manhattan | chebyshev")
+    j.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject storage faults: comma list of seed=N, "
+                        "read-errors=RATE, corrupt=RATE, torn=RATE, "
+                        "crash=OP (repeatable), pressure=START-END")
+    j.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry failed reads up to N attempts "
+                        "(0 disables the retry layer)")
+    j.add_argument("--checksums", action="store_true",
+                   help="verify per-page CRC32 checksums on every read")
+    j.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="journal progress under DIR for crash-safe "
+                        "resume; the result pair file is durable there")
+    j.add_argument("--resume", action="store_true",
+                   help="continue from the journal in --checkpoint "
+                        "after an interrupted run")
     j.set_defaults(func=cmd_join)
 
     j2 = sub.add_parser("join-two", help="external EGO R ⋈ S join")

@@ -19,6 +19,7 @@ the cost model.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -26,7 +27,11 @@ import numpy as np
 
 from ..sorting.external_sort import SortStats, external_sort
 from ..storage.disk import SimulatedDisk
+from ..storage.faults import FaultLog, FaultPlan
+from ..storage.integrity import RetryPolicy, make_robust_disk
+from ..storage.journal import Journal
 from ..storage.pagefile import PointFile
+from ..storage.pairfile import PairFile, SpillingCollector
 from ..storage.stats import CPUCounters, IOCounters
 from .ego_order import (ego_sorted, ensure_finite, grid_cells,
                         validate_epsilon)
@@ -125,7 +130,15 @@ def ego_join(points_r: np.ndarray, points_s: np.ndarray, epsilon: float,
 
 @dataclass
 class ExternalJoinReport:
-    """Full accounting of one external EGO self-join run."""
+    """Full accounting of one external EGO self-join run.
+
+    The robustness fields are filled in when the pipeline runs with a
+    fault plan and/or a checkpoint: ``faults`` is the injection log,
+    ``resumed`` marks a run continued from a journal, ``result_path`` is
+    the durable pair file of a checkpointed run, and ``total_pairs`` is
+    the complete join cardinality — on a resumed run this covers pairs
+    produced *before* the crash as well, which ``result`` does not.
+    """
 
     result: JoinResult
     sort_stats: SortStats
@@ -135,6 +148,10 @@ class ExternalJoinReport:
     simulated_io_time_s: float
     sort_io_time_s: float
     join_io_time_s: float
+    faults: Optional[FaultLog] = None
+    resumed: bool = False
+    result_path: Optional[str] = None
+    total_pairs: Optional[int] = None
 
 
 def ego_key_function(epsilon: float):
@@ -248,7 +265,12 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                        materialize: bool = True,
                        metric=None,
                        assume_sorted: bool = False,
-                       sorted_epsilon: Optional[float] = None
+                       sorted_epsilon: Optional[float] = None,
+                       fault_plan: Optional[FaultPlan] = None,
+                       retry: Optional[RetryPolicy] = None,
+                       checksums: bool = False,
+                       checkpoint_dir: Optional[str] = None,
+                       resume: bool = False
                        ) -> ExternalJoinReport:
     """External EGO self-join of a point file (the paper's full pipeline).
 
@@ -264,7 +286,8 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
         records), so both phases respect one memory limit.
     sorted_disk, scratch_disk:
         Disks for the sorted output and the sort runs; anonymous
-        temporary disks are created (and closed) when omitted.
+        temporary disks are created (and closed) when omitted, or
+        file-backed disks under ``checkpoint_dir`` when checkpointing.
     allow_crabstep:
         Forwarded to the scheduler; ``False`` reproduces gallop-mode
         thrashing (Figure 3b).
@@ -276,12 +299,34 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
         the finer one) — which is how a parameter sweep reuses one
         sort.  See ``grid_epsilon`` in
         :class:`~repro.core.sequence_join.JoinContext`.
+    fault_plan:
+        Seeded :class:`~repro.storage.faults.FaultPlan`; every disk the
+        pipeline touches is wrapped in a fault-injecting layer sharing
+        this plan (one global operation order), so failures — including
+        a :class:`~repro.storage.faults.SimulatedCrash` escaping this
+        call — are deterministic and reproducible.
+    retry, checksums:
+        Detection and recovery at the storage boundary: per-page CRC32
+        verification (turning silent corruption into
+        :class:`~repro.storage.integrity.CorruptPageError`) and a
+        bounded-retry policy with backoff charged to the simulated clock.
+    checkpoint_dir, resume:
+        Crash-safe checkpointing.  With ``checkpoint_dir`` set, the
+        sorted file, sort scratch, a durable result pair file and a
+        progress journal live under that directory, every completed sort
+        run / merge pass / joined unit pair is journaled, and result
+        appends are idempotent (truncated back to the journal watermark
+        on resume).  After a crash, calling again with ``resume=True``
+        (same directory, same parameters) skips completed work and
+        produces a result file byte-identical to an uninterrupted run.
     """
     validate_epsilon(epsilon)
     codec = input_file.codec
     if sort_memory_records is None:
         per_unit = max(1, unit_bytes // codec.record_bytes)
         sort_memory_records = max(2, buffer_units * per_unit)
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
 
     grid_epsilon = float(epsilon)
     if assume_sorted:
@@ -298,55 +343,150 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                     f"not {epsilon}")
             grid_epsilon = float(epsilon)
 
-    own_sorted = sorted_disk is None and not assume_sorted
-    own_scratch = scratch_disk is None and not assume_sorted
-    if own_sorted:
-        sorted_disk = SimulatedDisk()
-    if own_scratch:
-        scratch_disk = SimulatedDisk()
+    journal: Optional[Journal] = None
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        journal = Journal(os.path.join(checkpoint_dir, "journal.json"))
+        if not resume:
+            journal.reset()
+
+    def wrap(disk, sidecar: bool = False):
+        return make_robust_disk(disk, plan=fault_plan, checksums=checksums,
+                                retry=retry, sidecar=sidecar)
+
+    # Every disk this call creates is closed in the finally block even
+    # when a later construction step throws; file-backed checkpoint
+    # disks survive their close, anonymous ones are removed.
+    own_disks = []
     try:
+        if sorted_disk is None and not assume_sorted:
+            if checkpoint_dir is not None:
+                sorted_disk = SimulatedDisk(
+                    path=os.path.join(checkpoint_dir, "sorted.pts"))
+            else:
+                sorted_disk = SimulatedDisk()
+            own_disks.append(sorted_disk)
+        if scratch_disk is None and not assume_sorted:
+            if checkpoint_dir is not None:
+                scratch_disk = SimulatedDisk(
+                    path=os.path.join(checkpoint_dir, "scratch.bin"))
+            else:
+                scratch_disk = SimulatedDisk()
+            own_disks.append(scratch_disk)
+
+        robust = (fault_plan is not None or checksums
+                  or retry is not None)
+        input_disk = wrap(input_file.disk) if robust else input_file.disk
+        if robust:
+            input_file = PointFile(input_disk, codec, input_file.count,
+                                   data_start=input_file.data_start)
+        sidecars = checkpoint_dir is not None
+        sorted_io = (wrap(sorted_disk, sidecar=sidecars)
+                     if robust and sorted_disk is not None else sorted_disk)
+        scratch_io = (wrap(scratch_disk, sidecar=sidecars)
+                      if robust and scratch_disk is not None
+                      else scratch_disk)
+
+        # Durable result file + spilling collector (checkpoint mode).
+        pair_file = None
+        collector = None
+        result_path = None
+        if checkpoint_dir is not None:
+            result_path = os.path.join(checkpoint_dir, "result.prs")
+            result_disk = SimulatedDisk(path=result_path)
+            own_disks.append(result_disk)
+            watermark = journal.pair_watermark
+            if resume and os.path.getsize(result_path) > 0:
+                PairFile.open(result_disk)  # validate magic/version
+                pair_file = PairFile(result_disk, count=watermark,
+                                     with_distances=False)
+                pair_file.truncate_to(watermark)
+            else:
+                if watermark:
+                    raise RuntimeError(
+                        f"journal records {watermark} durable pairs but "
+                        f"{result_path} is missing or empty")
+                pair_file = PairFile.create(result_disk)
+            collector = SpillingCollector(pair_file)
+
+        if journal is not None and journal.join_complete is not None:
+            # The previous incarnation finished everything; nothing to do.
+            total = journal.join_complete["pairs"]
+            return ExternalJoinReport(
+                result=JoinResult(materialize=False),
+                sort_stats=SortStats(), schedule_stats=ScheduleStats(),
+                cpu=CPUCounters(), io=IOCounters(),
+                simulated_io_time_s=0.0, sort_io_time_s=0.0,
+                join_io_time_s=0.0,
+                faults=fault_plan.injected if fault_plan else None,
+                resumed=True, result_path=result_path, total_pairs=total)
+
         if assume_sorted:
             sorted_file = input_file
-            sorted_disk_obj = input_file.disk
-            io_before = (input_file.disk.counters.snapshot(),)
+            sorted_disk_obj = input_disk
+            io_before = (input_disk.counters.snapshot(),)
             sort_stats = SortStats()
             sort_io_time = 0.0
         else:
-            sorted_disk_obj = sorted_disk
-            io_before = (input_file.disk.counters.snapshot(),
-                         sorted_disk.counters.snapshot(),
-                         scratch_disk.counters.snapshot())
-            time_before = (input_file.disk.simulated_time_s,
-                           sorted_disk.simulated_time_s,
-                           scratch_disk.simulated_time_s)
+            sorted_disk_obj = sorted_io
+            io_before = (input_disk.counters.snapshot(),
+                         sorted_io.counters.snapshot(),
+                         scratch_io.counters.snapshot())
+            time_before = (input_disk.simulated_time_s,
+                           sorted_io.simulated_time_s,
+                           scratch_io.simulated_time_s)
 
             sorted_file, sort_stats = external_sort(
-                input_file, sorted_disk, scratch_disk,
-                ego_key_function(epsilon), sort_memory_records)
+                input_file, sorted_io, scratch_io,
+                ego_key_function(epsilon), sort_memory_records,
+                journal=journal)
             sort_io_time = (
-                (input_file.disk.simulated_time_s - time_before[0])
-                + (sorted_disk.simulated_time_s - time_before[1])
-                + (scratch_disk.simulated_time_s - time_before[2]))
+                (input_disk.simulated_time_s - time_before[0])
+                + (sorted_io.simulated_time_s - time_before[1])
+                + (scratch_io.simulated_time_s - time_before[2]))
 
         cpu = CPUCounters()
-        result = JoinResult(materialize=materialize)
+        result = JoinResult(materialize=materialize, callback=collector)
         ctx = JoinContext(epsilon=epsilon, result=result, minlen=minlen,
                           engine=engine, order_dimensions=order_dimensions,
                           cpu=cpu, metric=metric,
                           grid_epsilon=grid_epsilon)
+
+        pair_done = None
+        pair_complete = None
+        if journal is not None:
+            pair_done = journal.pair_done
+
+            def pair_complete(a: int, b: int) -> None:
+                # Make the pair's results durable, then journal the pair
+                # with the result watermark; a crash between the two
+                # merely redoes this one pair after truncation.
+                collector.flush()
+                journal.record_unit_pair(a, b, pair_file.count)
+
         join_time_before = sorted_disk_obj.simulated_time_s
         scheduler = EGOScheduler(sorted_file, ctx, unit_bytes, buffer_units,
-                                 allow_crabstep=allow_crabstep)
+                                 allow_crabstep=allow_crabstep,
+                                 pair_done=pair_done,
+                                 pair_complete=pair_complete)
         schedule_stats = scheduler.run()
         join_io_time = sorted_disk_obj.simulated_time_s - join_time_before
 
+        total_pairs = result.count
+        if collector is not None:
+            collector.close()
+            total_pairs = pair_file.count
+            journal.mark_join_complete(total_pairs)
+
         if assume_sorted:
-            io_total = input_file.disk.counters - io_before[0]
+            io_total = input_disk.counters - io_before[0]
         else:
             io_total = (
-                (input_file.disk.counters - io_before[0])
-                + (sorted_disk.counters - io_before[1])
-                + (scratch_disk.counters - io_before[2]))
+                (input_disk.counters - io_before[0])
+                + (sorted_io.counters - io_before[1])
+                + (scratch_io.counters - io_before[2]))
+        if pair_file is not None:
+            io_total = io_total + pair_file.disk.counters
         return ExternalJoinReport(
             result=result,
             sort_stats=sort_stats,
@@ -356,9 +496,11 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
             simulated_io_time_s=sort_io_time + join_io_time,
             sort_io_time_s=sort_io_time,
             join_io_time_s=join_io_time,
+            faults=fault_plan.injected if fault_plan else None,
+            resumed=resume,
+            result_path=result_path,
+            total_pairs=total_pairs,
         )
     finally:
-        if own_scratch:
-            scratch_disk.close()
-        if own_sorted:
-            sorted_disk.close()
+        for disk in reversed(own_disks):
+            disk.close()

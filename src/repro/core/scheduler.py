@@ -31,7 +31,7 @@ with LRU replacement, reproducing the thrashing behaviour of Figure 3b.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -67,6 +67,8 @@ class ScheduleStats:
     unit_pairs_joined: int = 0
     unit_pairs_skipped: int = 0
     evictions: int = 0
+    pressure_shrinks: int = 0
+    pairs_resumed: int = 0
 
     @property
     def total_unit_loads(self) -> int:
@@ -91,12 +93,27 @@ class EGOScheduler:
     allow_crabstep:
         When ``False``, stay in gallop mode and let LRU replacement cause
         the thrashing of Figure 3b (used by the scheduling benchmark).
+    pair_done, pair_complete:
+        Checkpoint hooks.  Before joining a unit pair ``(a, b)`` the
+        scheduler asks ``pair_done(a, b)``; a ``True`` answer means the
+        pair's results are already durable (a resumed run) and it is
+        skipped.  ``pair_complete(a, b)`` fires after the pair's join
+        finishes, letting the caller flush spilled results and record the
+        pair in a :class:`~repro.storage.journal.Journal`.
+
+    The scheduler also degrades gracefully under storage pressure: when
+    the file's disk exposes a true ``under_pressure`` attribute (see
+    :class:`~repro.storage.faults.FaultyDisk`), the buffer pool is shrunk
+    one frame at a time (never below 2) — pushing the schedule from
+    gallop into crabstep mode — and grown back once the pressure clears.
     """
 
     def __init__(self, point_file: PointFile, ctx: JoinContext,
                  unit_bytes: int, buffer_units: int,
                  allow_crabstep: bool = True,
-                 trace: Optional[List[Tuple[str, int, int]]] = None
+                 trace: Optional[List[Tuple[str, int, int]]] = None,
+                 pair_done: Optional[Callable[[int, int], bool]] = None,
+                 pair_complete: Optional[Callable[[int, int], None]] = None
                  ) -> None:
         if buffer_units < 2:
             raise ValueError(
@@ -107,6 +124,8 @@ class EGOScheduler:
         self.unit_bytes = unit_bytes
         self.allow_crabstep = allow_crabstep
         self.trace = trace
+        self.pair_done = pair_done
+        self.pair_complete = pair_complete
         self.stats = ScheduleStats()
         self.meta: Dict[int, UnitMeta] = {}
         self.pool: BufferPool[int, UnitData] = BufferPool(
@@ -163,6 +182,13 @@ class EGOScheduler:
 
     def _join_units(self, a: int, b: int) -> None:
         """Join the resident units ``a`` and ``b`` (``a == b`` is a self-join)."""
+        if self.pair_done is not None and self.pair_done(a, b):
+            # Completed (and made durable) before a crash; skip the work
+            # but keep the schedule otherwise identical.
+            self.stats.pairs_resumed += 1
+            if self.trace is not None:
+                self.trace.append(("resume-skip", min(a, b), max(a, b)))
+            return
         if a != b and not self._units_may_join(a, b):
             self.stats.unit_pairs_skipped += 1
             if self.trace is not None:
@@ -178,6 +204,8 @@ class EGOScheduler:
         else:
             ids_b, pts_b = self.pool.peek(b).value
             join_point_blocks(ids_a, pts_a, ids_b, pts_b, self.ctx)
+        if self.pair_complete is not None:
+            self.pair_complete(a, b)
 
     # -- the schedule ---------------------------------------------------------
 
@@ -185,6 +213,7 @@ class EGOScheduler:
         """Execute the full schedule; returns the accounting."""
         if self.num_units == 0:
             return self.stats
+        base_capacity = self.pool.capacity
         self.pool.get(0)
         self.stats.gallop_loads += 1
         self._join_units(0, 0)
@@ -192,11 +221,53 @@ class EGOScheduler:
         while i < self.num_units:
             frontier = i - 1
             self._cleanup(frontier)
-            if self.pool.has_empty_frame() or not self.allow_crabstep:
+            self._adapt_to_pressure(base_capacity)
+            if not self.allow_crabstep:
+                i = self._gallop_step(i)
+            elif self.pool.has_empty_frame() and self._gallop_sound(frontier):
                 i = self._gallop_step(i)
             else:
                 i = self._crabstep(i)
         return self.stats
+
+    def _gallop_sound(self, frontier: int) -> bool:
+        """Is the gallop invariant intact — every unit that may still join
+        a future unit resident?
+
+        With a fixed-size pool this follows from the empty-frame test
+        alone, but dynamic resizing under pressure can open a frame right
+        after a crabstep discarded still-needed units; galloping then
+        would silently drop their pairs.  Residency is checked against
+        the Lemma-2 test directly: the unit just below the oldest
+        resident must be obsolete (unit last-cells are non-decreasing, so
+        everything below it is then obsolete too).
+        """
+        low = min(self.pool.resident_keys)
+        return low == 0 or not self._needed(low - 1, frontier)
+
+    def _adapt_to_pressure(self, base_capacity: int) -> None:
+        """Shrink the buffer one frame per step under pressure, regrow after.
+
+        Pressure is read from the file's disk (``under_pressure``, set by
+        the fault layer); the pool never shrinks below 2 frames, the
+        minimum the schedule needs, so the join completes — more slowly,
+        in crabstep mode — rather than aborting.
+        """
+        under_pressure = bool(getattr(self.point_file.disk,
+                                      "under_pressure", False))
+        if under_pressure and self.pool.capacity > 2:
+            # Never evict here: after cleanup every resident frame is one
+            # the gallop invariant still needs (its ε-interval is open),
+            # so the shrink only consumes free frames.  Once the smaller
+            # pool fills, the ordinary full-buffer test pushes the
+            # schedule into crabstep, which re-reads from disk and is
+            # safe under any residency.
+            target = max(2, len(self.pool), self.pool.capacity - 1)
+            if target < self.pool.capacity:
+                self.pool.set_capacity(target)
+                self.stats.pressure_shrinks += 1
+        elif not under_pressure and self.pool.capacity < base_capacity:
+            self.pool.set_capacity(self.pool.capacity + 1)
 
     def _cleanup(self, frontier: int) -> None:
         """Figure 4, mark 1: drop buffers whose ε-interval has passed."""

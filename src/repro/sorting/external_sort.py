@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from ..storage.disk import SimulatedDisk
+from ..storage.journal import Journal
 from ..storage.pagefile import (PointFile, SequentialReader, SequentialWriter)
 from ..storage.records import RecordCodec
 
@@ -77,20 +78,38 @@ def _sort_batch(ids: np.ndarray, points: np.ndarray,
 
 def _generate_runs(input_file: PointFile, scratch: SimulatedDisk,
                    key_of_batch: KeyFunction, memory_records: int,
-                   stats: SortStats) -> List[_Run]:
+                   stats: SortStats,
+                   journal: Optional[Journal] = None) -> List[_Run]:
+    """Sort one memory-load per run; with a journal, each completed run is
+    recorded and a resumed sort reuses it from the scratch disk instead of
+    re-reading and re-sorting its input chunk."""
     codec = input_file.codec
     runs: List[_Run] = []
     next_byte = 0
-    for ids, points in input_file.iter_chunks(memory_records):
-        ids, points = _sort_batch(ids, points, key_of_batch)
-        run = _Run(scratch, codec, next_byte)
-        writer = SequentialWriter(run.file, buffer_records=memory_records)
-        writer.write(ids, points)
-        writer.flush()
+    total = input_file.count
+    chunks = -(-total // memory_records) if total else 0
+    for index in range(chunks):
+        first = index * memory_records
+        n = min(memory_records, total - first)
+        recorded = journal.sort_run(index) if journal is not None else None
+        if recorded is not None:
+            start_byte, count = recorded
+            run = _Run(scratch, codec, start_byte)
+            run.file.count = count
+        else:
+            ids, points = input_file.read_range(first, n)
+            ids, points = _sort_batch(ids, points, key_of_batch)
+            run = _Run(scratch, codec, next_byte)
+            writer = SequentialWriter(run.file, buffer_records=memory_records)
+            writer.write(ids, points)
+            writer.flush()
+            if journal is not None:
+                journal.record_sort_run(index, run.file.data_start,
+                                        run.count)
         next_byte = run.end_byte
         runs.append(run)
         stats.runs_generated += 1
-        stats.records_sorted += len(ids)
+        stats.records_sorted += n
     return runs
 
 
@@ -202,7 +221,9 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
                   scratch_disk: SimulatedDisk, key_of_batch: KeyFunction,
                   memory_records: int,
                   fanin: int = 16,
-                  run_strategy: str = "load") -> Tuple[PointFile, SortStats]:
+                  run_strategy: str = "load",
+                  journal: Optional[Journal] = None
+                  ) -> Tuple[PointFile, SortStats]:
     """Sort ``input_file`` into a new point file on ``output_disk``.
 
     Parameters
@@ -216,6 +237,13 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
         ``"load"`` (sort one memory-load per run, the default) or
         ``"replacement"`` (replacement selection: ~2× longer runs on
         random input, halving the merge work).
+    journal:
+        Optional :class:`~repro.storage.journal.Journal` for crash-safe
+        checkpointing: completed runs, merge passes and the finished
+        output are recorded, and a sort re-invoked with the same journal
+        (and the same file-backed disks) resumes after the last completed
+        step instead of starting over.  Requires ``run_strategy="load"``
+        (replacement selection consumes its input stream statefully).
 
     Returns the sorted :class:`PointFile` and the sort accounting.
     """
@@ -225,20 +253,52 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
         raise ValueError("fanin must be at least 2")
     if run_strategy not in ("load", "replacement"):
         raise ValueError(f"unknown run_strategy {run_strategy!r}")
+    if journal is not None and run_strategy != "load":
+        raise ValueError(
+            "journaled sorting requires run_strategy='load'")
+    codec = input_file.codec
+
+    if journal is not None and journal.sort_complete is not None:
+        done = journal.sort_complete
+        output = PointFile.open(output_disk)
+        if output.count == done["count"]:
+            return output, SortStats(
+                runs_generated=done["runs_generated"],
+                merge_passes=done["merge_passes"],
+                records_sorted=done["count"])
+        # Inconsistent artifact (crash while finishing): fall through and
+        # redo the final pass from the journaled runs.
+
     stats = SortStats()
-    scratch_disk.truncate(0)
+    resuming = journal is not None and (
+        journal.state.get("sort_runs") or journal.state.get("merge_passes"))
+    if not resuming:
+        scratch_disk.truncate(0)
     if run_strategy == "replacement":
         runs = _generate_runs_replacement(input_file, scratch_disk,
                                           key_of_batch, memory_records,
                                           stats)
     else:
         runs = _generate_runs(input_file, scratch_disk, key_of_batch,
-                              memory_records, stats)
-    codec = input_file.codec
+                              memory_records, stats, journal=journal)
 
     # Intermediate merge passes keep results on the scratch disk, the
-    # final pass writes the output file.
+    # final pass writes the output file.  With a journal, each completed
+    # pass records the resulting run layout; a resumed sort reconstructs
+    # the runs of the latest completed pass and continues from there.
+    pass_no = 0
+    if journal is not None:
+        latest = journal.latest_merge_pass()
+        if latest is not None:
+            pass_no, layout = latest
+            runs = []
+            for start_byte, count in layout:
+                run = _Run(scratch_disk, codec, start_byte)
+                run.file.count = count
+                runs.append(run)
+            stats.merge_passes = pass_no
     while len(runs) > fanin:
+        pass_no += 1
         stats.merge_passes += 1
         # New runs are appended after everything already on the scratch
         # disk; singleton groups may keep runs positioned earlier, so the
@@ -260,6 +320,9 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
             next_byte = target.end_byte
             merged.append(target)
         runs = merged
+        if journal is not None:
+            journal.record_merge_pass(
+                pass_no, [(r.file.data_start, r.count) for r in runs])
 
     output = PointFile.create(output_disk, codec.dimensions)
     writer = SequentialWriter(output, buffer_records=memory_records)
@@ -270,4 +333,7 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
         _merge_runs(sources, writer, codec.dimensions, buf)
     writer.flush()
     output.close()
+    if journal is not None:
+        journal.mark_sort_complete(output.count, stats.runs_generated,
+                                   stats.merge_passes)
     return output, stats

@@ -2,6 +2,11 @@
 
 from .buffer import BufferFullError, BufferPool, BufferStats, Frame
 from .disk import DiskModel, SimulatedDisk
+from .faults import (FaultInjectionError, FaultLog, FaultPlan, FaultyDisk,
+                     SimulatedCrash, TransientReadError)
+from .integrity import (ChecksummedDisk, CorruptPageError, RetryingDisk,
+                        RetryPolicy, make_robust_disk)
+from .journal import Journal
 from .pagefile import (HEADER_SIZE, PointFile, SequentialReader,
                        SequentialWriter)
 from .pairfile import PairFile, SpillingCollector
@@ -13,17 +18,28 @@ __all__ = [
     "BufferPool",
     "BufferStats",
     "CPUCounters",
+    "ChecksummedDisk",
+    "CorruptPageError",
     "DiskModel",
+    "FaultInjectionError",
+    "FaultLog",
+    "FaultPlan",
+    "FaultyDisk",
     "Frame",
     "HEADER_SIZE",
     "IOCounters",
+    "Journal",
     "OperationStats",
     "PairFile",
+    "RetryPolicy",
+    "RetryingDisk",
+    "SimulatedCrash",
     "SpillingCollector",
     "PointFile",
     "RecordCodec",
     "SequentialReader",
     "SequentialWriter",
     "SimulatedDisk",
-    "record_size",
+    "TransientReadError",
+    "make_robust_disk",
 ]

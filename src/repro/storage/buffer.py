@@ -116,6 +116,21 @@ class BufferPool(Generic[K, V]):
         del self._frames[victim.key]
         self.stats.evictions += 1
 
+    def set_capacity(self, capacity: int) -> int:
+        """Resize the pool, evicting unpinned LRU frames as needed.
+
+        Used for graceful degradation under memory/IO pressure: the EGO
+        scheduler shrinks its buffer instead of aborting.  The capacity
+        cannot drop below the number of currently pinned frames (or 1);
+        returns the capacity actually set.
+        """
+        pinned = sum(1 for f in self._frames.values() if f.pinned)
+        target = max(1, capacity, pinned)
+        while len(self._frames) > target:
+            self._evict_one()
+        self.capacity = target
+        return target
+
     def get(self, key: K, pin: bool = False) -> V:
         """Return the page for ``key``, loading (and possibly evicting) on miss."""
         frame = self._frames.get(key)

@@ -70,15 +70,19 @@ class SimulatedDisk:
         self.model = model if model is not None else DiskModel()
         self.counters = IOCounters()
         self.simulated_time_s = 0.0
+        # Set lifecycle flags before any file is opened so close() (and
+        # __del__ on a half-constructed instance) always sees them.
+        self._owns_file = False
+        self._closed = True
         if path is None:
             fd, self._path = tempfile.mkstemp(prefix="repro-disk-", suffix=".bin")
-            self._file = os.fdopen(fd, "r+b")
             self._owns_file = True
+            self._closed = False
+            self._file = os.fdopen(fd, "r+b")
         else:
             self._path = path
             mode = "r+b" if os.path.exists(path) else "w+b"
             self._file = open(path, mode)
-            self._owns_file = False
         self._last_end: Optional[int] = None
         self._closed = False
 
@@ -94,16 +98,34 @@ class SimulatedDisk:
         self.close()
 
     def close(self) -> None:
-        """Flush and close the backing file (removing it if anonymous)."""
-        if self._closed:
+        """Flush and close the backing file (removing it if anonymous).
+
+        Safe to call repeatedly and from ``__del__`` even when
+        ``__init__`` did not finish (interpreter shutdown, construction
+        failure): every attribute access is guarded.
+        """
+        if getattr(self, "_closed", True):
             return
-        self._file.close()
+        self._closed = True
+        backing = getattr(self, "_file", None)
+        if backing is not None:
+            try:
+                backing.close()
+            except OSError:
+                pass
         if self._owns_file:
             try:
                 os.unlink(self._path)
             except OSError:
                 pass
-        self._closed = True
+
+    def __del__(self) -> None:
+        # Last-resort cleanup so anonymous temp files cannot leak when an
+        # exception escapes a pipeline before the owning close() runs.
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def size(self) -> int:
         """Current size of the backing file in bytes."""
@@ -130,15 +152,24 @@ class SimulatedDisk:
 
     def read(self, offset: int, nbytes: int) -> bytes:
         """Read ``nbytes`` starting at ``offset``; short at end of file."""
+        if offset < 0:
+            raise ValueError(f"negative offset: {offset}")
         if nbytes < 0:
             raise ValueError(f"negative read size: {nbytes}")
         self._file.seek(offset)
         data = self._file.read(nbytes)
         self._account(offset, len(data), is_write=False)
+        if nbytes > 0 and not data:
+            # The request landed entirely past EOF: nothing was
+            # transferred, so the head position is unknown territory —
+            # do not let the next access pass as sequential.
+            self._last_end = None
         return data
 
     def write(self, offset: int, data: bytes) -> int:
         """Write ``data`` at ``offset``; returns the number of bytes written."""
+        if offset < 0:
+            raise ValueError(f"negative offset: {offset}")
         self._file.seek(offset)
         written = self._file.write(data)
         self._file.flush()

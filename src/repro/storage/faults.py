@@ -1,0 +1,299 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+Production-scale similarity joins run for hours over external storage, so
+transient read errors, torn writes, silent corruption and outright crashes
+are inputs the pipeline must expect, not exceptional conditions.  This
+module makes every one of those failure modes *reproducible*: a
+:class:`FaultPlan` is seeded and consumed in operation order, so a given
+plan injects exactly the same faults at exactly the same operations on
+every run — which is what lets tests and benchmarks assert recovery
+behaviour instead of merely hoping for it.
+
+The plan drives a :class:`FaultyDisk` wrapper that sits directly above a
+:class:`~repro.storage.disk.SimulatedDisk`.  Detection and recovery live
+one layer up, in :mod:`repro.storage.integrity` (checksums and retries)
+and :mod:`repro.storage.journal` (checkpoint/resume); the usual stack is::
+
+    RetryingDisk(ChecksummedDisk(FaultyDisk(SimulatedDisk, plan)))
+
+Fault kinds
+-----------
+
+* **transient read errors** — the read raises :class:`TransientReadError`;
+  a re-issued read normally succeeds (each attempt is sampled
+  independently), modelling bus glitches and recoverable device errors;
+* **bit-flip corruption** — the read succeeds but one byte of the
+  returned data is flipped, modelling silent media corruption (only a
+  checksum layer can catch this);
+* **torn writes** — a write persists only a prefix of its payload while
+  reporting full success, modelling a power cut mid-sector;
+* **crash points** — at a scheduled global operation index the device
+  raises :class:`SimulatedCrash`; a crash during a write optionally tears
+  it first, so the on-disk state is exactly what a real interrupted write
+  leaves behind;
+* **pressure windows** — operation-index ranges during which the device
+  reports memory/IO pressure via :attr:`FaultyDisk.under_pressure`; the
+  EGO scheduler reacts by shrinking its buffer instead of aborting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class FaultInjectionError(IOError):
+    """Base class of every error raised by the fault layer."""
+
+
+class TransientReadError(FaultInjectionError):
+    """A read failed transiently; re-issuing it normally succeeds."""
+
+
+class SimulatedCrash(RuntimeError):
+    """The process 'crashed' at a scheduled operation.
+
+    Deliberately *not* an :class:`IOError`: retry layers must never
+    swallow a crash — it has to escape the whole pipeline, exactly like
+    a real process death.
+    """
+
+    def __init__(self, op_index: int) -> None:
+        super().__init__(f"simulated crash at storage operation {op_index}")
+        self.op_index = op_index
+
+
+@dataclass
+class FaultLog:
+    """Counts of the faults a plan actually injected."""
+
+    transient_read_errors: int = 0
+    corrupted_reads: int = 0
+    torn_writes: int = 0
+    crashes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of injected faults of any kind."""
+        return (self.transient_read_errors + self.corrupted_reads
+                + self.torn_writes + self.crashes)
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.transient_read_errors = 0
+        self.corrupted_reads = 0
+        self.torn_writes = 0
+        self.crashes = 0
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of storage faults.
+
+    One plan instance is shared by every :class:`FaultyDisk` of a
+    pipeline, so the operation index is global across devices and a crash
+    point identifies one specific operation of the whole run.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the private RNG; two plans with equal parameters inject
+        identical faults.
+    read_error_rate:
+        Probability that a read attempt raises :class:`TransientReadError`.
+    corrupt_rate:
+        Probability that a successful read has one byte bit-flipped.
+    torn_write_rate:
+        Probability that a write silently persists only a prefix.
+    crash_ops:
+        Global operation indices (0-based, reads and writes both count) at
+        which :class:`SimulatedCrash` is raised.  Each fires at most once.
+    tear_on_crash:
+        When a crash lands on a write, persist a random prefix first
+        (the realistic torn state a power cut leaves).
+    pressure_ranges:
+        ``(start, end)`` half-open operation-index ranges during which
+        :meth:`under_pressure` reports ``True``.
+    """
+
+    def __init__(self, seed: int = 0,
+                 read_error_rate: float = 0.0,
+                 corrupt_rate: float = 0.0,
+                 torn_write_rate: float = 0.0,
+                 crash_ops: Iterable[int] = (),
+                 tear_on_crash: bool = True,
+                 pressure_ranges: Sequence[Tuple[int, int]] = ()) -> None:
+        for name, rate in (("read_error_rate", read_error_rate),
+                           ("corrupt_rate", corrupt_rate),
+                           ("torn_write_rate", torn_write_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.read_error_rate = read_error_rate
+        self.corrupt_rate = corrupt_rate
+        self.torn_write_rate = torn_write_rate
+        self.crash_ops = set(int(op) for op in crash_ops)
+        self.tear_on_crash = tear_on_crash
+        self.pressure_ranges = [(int(a), int(b)) for a, b in pressure_ranges]
+        self.injected = FaultLog()
+        self._rng = random.Random(seed)
+        self._op = 0
+
+    # -- derived plans ------------------------------------------------------
+
+    def without_crashes(self) -> "FaultPlan":
+        """A fresh copy of this plan with every crash point removed.
+
+        This is the plan a resumed run uses: the same background fault
+        rates keep applying, but the scheduled crash already happened.
+        """
+        return FaultPlan(seed=self.seed,
+                         read_error_rate=self.read_error_rate,
+                         corrupt_rate=self.corrupt_rate,
+                         torn_write_rate=self.torn_write_rate,
+                         crash_ops=(),
+                         tear_on_crash=self.tear_on_crash,
+                         pressure_ranges=self.pressure_ranges)
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def op_index(self) -> int:
+        """Number of operations the plan has adjudicated so far."""
+        return self._op
+
+    def under_pressure(self) -> bool:
+        """True while the current operation index is in a pressure window."""
+        return any(a <= self._op < b for a, b in self.pressure_ranges)
+
+    def _next_op(self) -> int:
+        op = self._op
+        self._op += 1
+        if op in self.crash_ops:
+            self.crash_ops.discard(op)
+            self.injected.crashes += 1
+            raise SimulatedCrash(op)
+        return op
+
+    # -- hooks used by FaultyDisk -------------------------------------------
+
+    def on_read(self) -> None:
+        """Adjudicate one read attempt; may raise crash or transient error."""
+        self._next_op()
+        if self.read_error_rate and self._rng.random() < self.read_error_rate:
+            self.injected.transient_read_errors += 1
+            raise TransientReadError(
+                f"injected transient read error at operation {self._op - 1}")
+
+    def mangle_read(self, data: bytes) -> bytes:
+        """Possibly flip one byte of read data (silent corruption)."""
+        if not data or not self.corrupt_rate:
+            return data
+        if self._rng.random() >= self.corrupt_rate:
+            return data
+        self.injected.corrupted_reads += 1
+        pos = self._rng.randrange(len(data))
+        bit = 1 << self._rng.randrange(8)
+        mangled = bytearray(data)
+        mangled[pos] ^= bit
+        return bytes(mangled)
+
+    def on_write(self, data: bytes) -> Tuple[bytes, Optional[SimulatedCrash]]:
+        """Adjudicate one write.
+
+        Returns ``(payload, crash)``: the possibly-torn payload to persist
+        and, if the operation is a crash point, the crash to raise *after*
+        persisting it.
+        """
+        try:
+            self._next_op()
+        except SimulatedCrash as crash:
+            if self.tear_on_crash and len(data) > 1:
+                self.injected.torn_writes += 1
+                return data[:self._rng.randrange(1, len(data))], crash
+            return b"", crash
+        if (self.torn_write_rate and len(data) > 1
+                and self._rng.random() < self.torn_write_rate):
+            self.injected.torn_writes += 1
+            return data[:self._rng.randrange(1, len(data))], None
+        return data, None
+
+
+class FaultyDisk:
+    """A disk wrapper that injects the faults of a :class:`FaultPlan`.
+
+    Exposes the full :class:`~repro.storage.disk.SimulatedDisk` interface;
+    accounting (counters, simulated clock) stays on the wrapped disk so
+    the whole wrapper stack shares one set of books.  A torn write still
+    reports the full requested length — the tear is *silent*, exactly the
+    property that makes checksums necessary.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    # -- delegated state ----------------------------------------------------
+
+    @property
+    def counters(self):
+        return self.inner.counters
+
+    @property
+    def simulated_time_s(self) -> float:
+        return self.inner.simulated_time_s
+
+    @simulated_time_s.setter
+    def simulated_time_s(self, value: float) -> None:
+        self.inner.simulated_time_s = value
+
+    @property
+    def model(self):
+        return self.inner.model
+
+    @property
+    def path(self) -> str:
+        return self.inner.path
+
+    @property
+    def under_pressure(self) -> bool:
+        """True while the plan's current op index is in a pressure window."""
+        return self.plan.under_pressure()
+
+    def __enter__(self) -> "FaultyDisk":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def size(self) -> int:
+        return self.inner.size()
+
+    def truncate(self, nbytes: int) -> None:
+        self.inner.truncate(nbytes)
+
+    def reset_accounting(self) -> None:
+        self.inner.reset_accounting()
+
+    # -- faulting data path -------------------------------------------------
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        self.plan.on_read()
+        return self.plan.mangle_read(self.inner.read(offset, nbytes))
+
+    def write(self, offset: int, data: bytes) -> int:
+        payload, crash = self.plan.on_write(data)
+        if payload:
+            self.inner.write(offset, payload)
+        if crash is not None:
+            raise crash
+        # A torn write is silent: report the full requested length.
+        return len(data)
+
+    def append(self, data: bytes) -> int:
+        offset = self.size()
+        self.write(offset, data)
+        return offset

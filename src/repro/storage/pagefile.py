@@ -132,6 +132,25 @@ class PointFile:
             yield self.read_range(pos, n)
             pos += n
 
+    def data_crc32(self, chunk_records: int = 8192) -> int:
+        """CRC32 over the raw bytes of the data region.
+
+        Recorded in the resume journal when a durable artifact (the
+        sorted file) completes, and checked before a resumed run trusts
+        it — a cheap whole-file complement to the per-page verification
+        of :class:`~repro.storage.integrity.ChecksummedDisk`.
+        """
+        import zlib
+        crc = 0
+        pos = 0
+        rec = self.record_bytes
+        while pos < self.count:
+            n = min(chunk_records, self.count - pos)
+            raw = self.disk.read(self.data_start + pos * rec, n * rec)
+            crc = zlib.crc32(raw, crc)
+            pos += n
+        return crc
+
     # -- I/O units ----------------------------------------------------------
 
     def num_units(self, unit_bytes: int) -> int:
@@ -198,6 +217,12 @@ class SequentialWriter:
         self._ids.clear()
         self._points.clear()
         self._pending = 0
+
+    def __enter__(self) -> "SequentialWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def close(self) -> None:
         """Flush pending records and persist the file header."""

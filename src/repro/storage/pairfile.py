@@ -128,6 +128,22 @@ class PairFile:
             yield self.read_range(pos, n)
             pos += n
 
+    def truncate_to(self, count: int) -> None:
+        """Discard every pair past ``count`` (crash-recovery rollback).
+
+        Resuming from a checkpoint truncates the result file back to the
+        journal's pair watermark, discarding any partially-appended batch
+        a crash left behind; subsequent appends then land at exactly the
+        offsets an uninterrupted run would have used, making result
+        appends idempotent.
+        """
+        if count < 0 or count > self.count:
+            raise ValueError(
+                f"cannot truncate to {count} pairs; file has {self.count}")
+        self.disk.truncate(PAIR_HEADER_SIZE + count * self.record_bytes)
+        self.count = count
+        self.flush_header()
+
     def close(self) -> None:
         """Persist the header; the disk stays open."""
         self.flush_header()
@@ -177,6 +193,12 @@ class SpillingCollector:
         self._a.clear()
         self._b.clear()
         self._pending = 0
+
+    def __enter__(self) -> "SpillingCollector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def close(self) -> None:
         """Flush and persist the pair-file header."""

@@ -14,7 +14,15 @@ from dataclasses import dataclass, field, fields
 
 @dataclass
 class IOCounters:
-    """Counts of physical I/O operations performed against one disk."""
+    """Counts of physical I/O operations performed against one disk.
+
+    The fault/retry fields are filled in by the robustness layers of
+    :mod:`repro.storage.integrity`: ``read_faults`` counts reads that
+    failed detectably (transient error or checksum mismatch),
+    ``read_retries`` the re-issues a :class:`RetryPolicy` performed,
+    ``corrupt_pages`` the checksum mismatches detected, and
+    ``retry_backoff_s`` the simulated seconds spent backing off.
+    """
 
     random_reads: int = 0
     sequential_reads: int = 0
@@ -22,6 +30,10 @@ class IOCounters:
     sequential_writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    read_faults: int = 0
+    read_retries: int = 0
+    corrupt_pages: int = 0
+    retry_backoff_s: float = 0.0
 
     @property
     def total_accesses(self) -> int:

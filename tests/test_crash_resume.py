@@ -1,0 +1,141 @@
+"""Crash/resume tests: kill the external join at scheduled crash points
+and assert the resumed run reproduces the uninterrupted result exactly.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.ego_join import ego_self_join_file
+from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import FaultPlan, SimulatedCrash
+from repro.storage.integrity import RetryPolicy
+from repro.storage.pairfile import PairFile
+
+from conftest import make_file
+
+pytestmark = pytest.mark.faults
+
+EPSILON = 0.25
+UNIT_BYTES = 512
+BUFFER_UNITS = 4
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return np.random.default_rng(42).random((400, 4))
+
+
+def run_join(pts, **kwargs):
+    with SimulatedDisk() as disk:
+        pf = make_file(disk, pts)
+        return ego_self_join_file(pf, EPSILON, unit_bytes=UNIT_BYTES,
+                                  buffer_units=BUFFER_UNITS, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def baseline(dataset, tmp_path_factory):
+    """Uninterrupted checkpointed run: pair set + durable result bytes."""
+    ck = tmp_path_factory.mktemp("baseline-ck")
+    report = run_join(dataset, checkpoint_dir=str(ck))
+    with open(os.path.join(str(ck), "result.prs"), "rb") as fh:
+        result_bytes = fh.read()
+    return {"pairs": report.result.canonical_pair_set(),
+            "count": report.total_pairs,
+            "bytes": result_bytes}
+
+
+# Crash points spread over the pipeline phases: run generation, merge,
+# early join, mid join, late join.  Points beyond the run's operation
+# count are skipped (xfail-free) via the did-it-crash check below.
+CRASH_OPS = [1, 5, 15, 40, 80, 150, 250, 400]
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("crash_op", CRASH_OPS)
+    def test_resume_reproduces_baseline_exactly(self, dataset, baseline,
+                                                tmp_path, crash_op):
+        ck = str(tmp_path / "ck")
+        plan = FaultPlan(seed=1, crash_ops=[crash_op])
+        try:
+            run_join(dataset, checkpoint_dir=ck, fault_plan=plan)
+            pytest.skip(f"pipeline finished before operation {crash_op}")
+        except SimulatedCrash:
+            pass
+
+        report = run_join(dataset, checkpoint_dir=ck, resume=True,
+                          fault_plan=plan.without_crashes())
+        assert report.resumed
+        assert report.total_pairs == baseline["count"]
+        with open(os.path.join(ck, "result.prs"), "rb") as fh:
+            assert fh.read() == baseline["bytes"]
+
+    def test_resumed_pair_set_matches_uninterrupted(self, dataset,
+                                                    baseline, tmp_path):
+        ck = str(tmp_path / "ck")
+        plan = FaultPlan(seed=1, crash_ops=[150])
+        with pytest.raises(SimulatedCrash):
+            run_join(dataset, checkpoint_dir=ck, fault_plan=plan)
+        run_join(dataset, checkpoint_dir=ck, resume=True)
+        with SimulatedDisk(path=os.path.join(ck, "result.prs")) as disk:
+            a, b, _ = PairFile.open(disk).read_all()
+        got = {(min(x, y), max(x, y))
+               for x, y in zip(a.tolist(), b.tolist())}
+        assert got == baseline["pairs"]
+
+    def test_double_crash_then_resume(self, dataset, baseline, tmp_path):
+        # Crash the fresh run, crash the first resume, then finish.
+        ck = str(tmp_path / "ck")
+        with pytest.raises(SimulatedCrash):
+            run_join(dataset, checkpoint_dir=ck,
+                     fault_plan=FaultPlan(crash_ops=[30]))
+        with pytest.raises(SimulatedCrash):
+            run_join(dataset, checkpoint_dir=ck, resume=True,
+                     fault_plan=FaultPlan(crash_ops=[40]))
+        report = run_join(dataset, checkpoint_dir=ck, resume=True)
+        assert report.total_pairs == baseline["count"]
+        with open(os.path.join(ck, "result.prs"), "rb") as fh:
+            assert fh.read() == baseline["bytes"]
+
+    def test_crash_with_background_faults_and_retries(self, dataset,
+                                                      baseline, tmp_path):
+        # Crash amid transient errors; the resumed run keeps the same
+        # error rates (minus the crash) and still reproduces the result.
+        ck = str(tmp_path / "ck")
+        plan = FaultPlan(seed=6, read_error_rate=0.02, crash_ops=[120])
+        with pytest.raises(SimulatedCrash):
+            run_join(dataset, checkpoint_dir=ck, fault_plan=plan,
+                     retry=RetryPolicy())
+        report = run_join(dataset, checkpoint_dir=ck, resume=True,
+                          fault_plan=plan.without_crashes(),
+                          retry=RetryPolicy())
+        assert report.total_pairs == baseline["count"]
+        with open(os.path.join(ck, "result.prs"), "rb") as fh:
+            assert fh.read() == baseline["bytes"]
+
+    def test_resume_of_completed_run_is_a_noop(self, dataset, baseline,
+                                               tmp_path):
+        ck = str(tmp_path / "ck")
+        run_join(dataset, checkpoint_dir=ck)
+        report = run_join(dataset, checkpoint_dir=ck, resume=True)
+        assert report.resumed
+        assert report.total_pairs == baseline["count"]
+        assert report.io.total_accesses == 0  # nothing was re-done
+        with open(os.path.join(ck, "result.prs"), "rb") as fh:
+            assert fh.read() == baseline["bytes"]
+
+    def test_resume_requires_checkpoint_dir(self, dataset):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_join(dataset, resume=True)
+
+    def test_fresh_run_resets_stale_journal(self, dataset, baseline,
+                                            tmp_path):
+        ck = str(tmp_path / "ck")
+        with pytest.raises(SimulatedCrash):
+            run_join(dataset, checkpoint_dir=ck,
+                     fault_plan=FaultPlan(crash_ops=[60]))
+        # resume=False starts over, ignoring the journal.
+        report = run_join(dataset, checkpoint_dir=ck)
+        assert not report.resumed
+        assert report.total_pairs == baseline["count"]

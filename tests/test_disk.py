@@ -36,6 +36,14 @@ class TestReadWrite:
         with pytest.raises(ValueError):
             temp_disk.read(0, -1)
 
+    def test_read_negative_offset_rejected(self, temp_disk):
+        with pytest.raises(ValueError):
+            temp_disk.read(-1, 10)
+
+    def test_write_negative_offset_rejected(self, temp_disk):
+        with pytest.raises(ValueError):
+            temp_disk.write(-5, b"x")
+
     def test_append_returns_offset(self, temp_disk):
         assert temp_disk.append(b"12345") == 0
         assert temp_disk.append(b"678") == 5
@@ -73,6 +81,22 @@ class TestAccounting:
     def test_read_after_write_same_position_is_sequential(self, temp_disk):
         temp_disk.write(0, b"x" * 100)
         temp_disk.read(100, 0)  # zero-length read at the head position
+        assert temp_disk.counters.sequential_reads == 1
+
+    def test_read_past_eof_does_not_fake_sequential(self, temp_disk):
+        # A zero-byte read at EOF transfers nothing; the next access at
+        # that offset must not be misclassified as sequential.
+        temp_disk.write(0, b"x" * 100)
+        temp_disk.read(200, 50)  # entirely past EOF: empty
+        temp_disk.read(200, 10)
+        assert temp_disk.counters.random_reads == 2
+
+    def test_short_read_at_eof_stays_sequential(self, temp_disk):
+        # A *partial* read transferred real bytes; sequentiality is
+        # judged from where the transfer actually ended.
+        temp_disk.write(0, b"x" * 100)
+        assert len(temp_disk.read(0, 150)) == 100
+        temp_disk.read(100, 10)  # empty, from the true head position
         assert temp_disk.counters.sequential_reads == 1
 
     def test_bytes_counted(self, temp_disk):
@@ -145,3 +169,24 @@ class TestLifecycle:
         disk = SimulatedDisk()
         disk.close()
         disk.close()
+
+    def test_del_removes_anonymous_file(self):
+        # A pipeline that loses its last reference (e.g. an exception
+        # escaping mid-join) must not leak the temp file.
+        disk = SimulatedDisk()
+        path = disk.path
+        del disk
+        import gc
+        gc.collect()
+        assert not os.path.exists(path)
+
+    def test_del_safe_on_half_constructed_instance(self):
+        disk = SimulatedDisk.__new__(SimulatedDisk)
+        disk.__del__()  # no attributes set at all; must not raise
+
+    def test_close_after_del_of_backing_file_attr(self):
+        disk = SimulatedDisk()
+        path = disk.path
+        del disk._file  # simulate a partially torn-down instance
+        disk.close()    # must not raise; still unlinks the temp file
+        assert not os.path.exists(path)

@@ -1,0 +1,110 @@
+"""Tests for the crash-safe progress journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.storage.journal import Journal
+
+
+class TestPersistence:
+    def test_fresh_journal_is_empty(self, tmp_path):
+        j = Journal(str(tmp_path / "j.json"))
+        assert j.sort_complete is None
+        assert j.join_complete is None
+        assert j.pair_watermark == 0
+        assert j.sort_run(0) is None
+        assert j.latest_merge_pass() is None
+
+    def test_reload_round_trip(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        j = Journal(path)
+        j.record_sort_run(0, 0, 100)
+        j.record_sort_run(1, 2400, 50)
+        j.record_merge_pass(1, [(0, 150)])
+        j.record_unit_pair(3, 5, 42)
+        j.mark_sort_complete(150, 2, 1)
+
+        j2 = Journal(path)
+        assert j2.sort_run(0) == (0, 100)
+        assert j2.sort_run(1) == (2400, 50)
+        assert j2.latest_merge_pass() == (1, [(0, 150)])
+        assert j2.pair_done(5, 3)
+        assert not j2.pair_done(0, 1)
+        assert j2.pair_watermark == 42
+        assert j2.sort_complete == {"count": 150, "runs_generated": 2,
+                                    "merge_passes": 1}
+
+    def test_update_is_atomic(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        j = Journal(path)
+        j.record_sort_run(0, 0, 10)
+        # The journal on disk is always a complete, parseable document
+        # and no temp file is left behind.
+        with open(path) as fh:
+            state = json.load(fh)
+        assert state["sort_runs"]["0"] == [0, 10]
+        assert not os.path.exists(path + ".tmp")
+
+    def test_reset_discards_progress(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        j = Journal(path)
+        j.record_unit_pair(0, 1, 7)
+        j.reset()
+        assert Journal(path).pair_watermark == 0
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        with open(path, "w") as fh:
+            json.dump({"version": 99}, fh)
+        with pytest.raises(ValueError, match="version"):
+            Journal(path)
+
+
+class TestBatching:
+    def test_flush_every_batches_writes(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        j = Journal(path, flush_every=10)
+        j.record_sort_run(0, 0, 10)
+        # In memory immediately, not yet on disk.
+        assert j.sort_run(0) == (0, 10)
+        assert Journal(path).sort_run(0) is None
+        j.flush()
+        assert Journal(path).sort_run(0) == (0, 10)
+
+    def test_completion_marks_always_persist(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        j = Journal(path, flush_every=1000)
+        j.mark_sort_complete(5, 1, 1)
+        assert Journal(path).sort_complete is not None
+
+    def test_invalid_flush_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            Journal(str(tmp_path / "j.json"), flush_every=0)
+
+
+class TestPairs:
+    def test_pair_key_is_canonical(self, tmp_path):
+        j = Journal(str(tmp_path / "j.json"))
+        j.record_unit_pair(9, 2, 5)
+        assert j.pair_done(2, 9)
+        assert j.pair_done(9, 2)
+
+    def test_duplicate_pair_keeps_first_watermark(self, tmp_path):
+        j = Journal(str(tmp_path / "j.json"))
+        j.record_unit_pair(1, 2, 10)
+        j.record_unit_pair(2, 1, 999)
+        assert j.pair_watermark == 10
+
+    def test_watermark_advances(self, tmp_path):
+        j = Journal(str(tmp_path / "j.json"))
+        j.record_unit_pair(0, 0, 3)
+        j.record_unit_pair(0, 1, 8)
+        assert j.pair_watermark == 8
+
+    def test_join_complete(self, tmp_path):
+        path = str(tmp_path / "j.json")
+        j = Journal(path)
+        j.mark_join_complete(1234)
+        assert Journal(path).join_complete == {"pairs": 1234}
