@@ -133,6 +133,8 @@ def cmd_join(args) -> int:
         fault_plan = parse_fault_spec(args.faults) if args.faults else None
         if args.resume and not args.checkpoint:
             raise ValueError("--resume requires --checkpoint DIR")
+        if args.workers < 1:
+            raise ValueError("--workers must be at least 1")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -149,6 +151,8 @@ def cmd_join(args) -> int:
                                         unit_bytes=unit_bytes,
                                         buffer_units=buffer_units,
                                         materialize=not args.count_only,
+                                        engine=args.engine,
+                                        workers=args.workers,
                                         metric=args.metric,
                                         fault_plan=fault_plan,
                                         retry=retry,
@@ -199,6 +203,7 @@ def cmd_join_two(args) -> int:
                                 unit_bytes=unit_bytes,
                                 buffer_units=buffer_units,
                                 materialize=not args.count_only,
+                                engine=args.engine,
                                 metric=args.metric)
     print(f"pairs: {report.result.count}", file=sys.stderr)
     if not args.count_only:
@@ -317,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max pairs printed (-1 for all)")
     j.add_argument("--metric", default="euclidean",
                    help="euclidean | manhattan | chebyshev")
+    j.add_argument("--engine", default="auto",
+                   choices=["auto", "vector", "matmul", "scalar"],
+                   help="leaf distance kernel (auto picks vector or "
+                        "matmul per leaf)")
+    j.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="join scheduled unit pairs on N processes "
+                        "(results are identical to the serial run)")
     j.add_argument("--faults", default=None, metavar="SPEC",
                    help="inject storage faults: comma list of seed=N, "
                         "read-errors=RATE, corrupt=RATE, torn=RATE, "
@@ -343,6 +355,9 @@ def build_parser() -> argparse.ArgumentParser:
     j2.add_argument("--limit", type=int, default=20)
     j2.add_argument("--metric", default="euclidean",
                     help="euclidean | manhattan | chebyshev")
+    j2.add_argument("--engine", default="auto",
+                    choices=["auto", "vector", "matmul", "scalar"],
+                    help="leaf distance kernel")
     j2.set_defaults(func=cmd_join_two)
 
     d = sub.add_parser("dbscan", help="join-based DBSCAN clustering")

@@ -10,9 +10,12 @@ from .ego_order import (ego_compare, ego_key, ego_less, ego_sort_order,
                         ego_sorted, epsilon_interval, grid_cells,
                         is_ego_sorted, outside_interval_high,
                         outside_interval_low, validate_epsilon)
+from .kernels import (ENGINES, ScratchBuffers, candidate_windows,
+                      pairs_within_matmul, select_engine)
 from .metrics import (CHEBYSHEV, EUCLIDEAN, MANHATTAN, Metric,
                       get_metric)
-from .parallel import ego_self_join_parallel
+from .parallel import (ParallelUnitJoiner, SerialUnitJoiner,
+                       ego_self_join_parallel)
 from .query import EGOIndex
 from .result import JoinResult
 from .rs_scheduler import RSScheduleStats, TwoFileScheduler
@@ -25,8 +28,12 @@ from .sequence_join import (DEFAULT_MINLEN, EXCLUSION_CELL_DISTANCE,
 
 __all__ = [
     "DEFAULT_MINLEN",
+    "ENGINES",
     "EXCLUSION_CELL_DISTANCE",
     "EGOIndex",
+    "ParallelUnitJoiner",
+    "ScratchBuffers",
+    "SerialUnitJoiner",
     "EGOScheduler",
     "ExternalJoinReport",
     "ExternalRSJoinReport",
@@ -62,9 +69,12 @@ __all__ = [
     "join_sequences",
     "lex_less",
     "natural_ordering",
+    "candidate_windows",
     "outside_interval_high",
     "outside_interval_low",
+    "pairs_within_matmul",
     "pairs_within_scalar",
+    "select_engine",
     "pairs_within_vector",
     "pairwise_sq_distances",
     "schedule_self_join",

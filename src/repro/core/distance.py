@@ -87,12 +87,23 @@ def distance_below_eps(p: np.ndarray, q: np.ndarray, eps_sq: float,
                 below = False
                 break
     else:
+        # Pure-float per-dimension contributions: boxing each scalar
+        # difference into a numpy array made the L_p early-abort test
+        # pay an allocation per dimension.
         acc = 0.0
         use_max = metric.combine_max
+        power = metric.power
         for j in order:
             evaluated += 1
-            contrib = float(metric.contributions(
-                np.asarray(p[j] - q[j])))
+            diff = float(p[j] - q[j])
+            if diff < 0.0:
+                diff = -diff
+            if power is None or power == 1.0:
+                contrib = diff
+            elif power == 2.0:
+                contrib = diff * diff
+            else:
+                contrib = diff ** power
             acc = max(acc, contrib) if use_max else acc + contrib
             if acc > eps_sq:
                 below = False
@@ -162,6 +173,10 @@ def pairs_within_vector(a: np.ndarray, b: np.ndarray, eps_sq: float,
         if return_sq_distances:
             return empty + (np.empty(0, dtype=np.float64),)
         return empty
+    # i < j by index comparison — cheaper than np.triu of a ones
+    # matrix, and built once for both the counter and the filter pass.
+    triangle = (np.arange(na)[:, None] < np.arange(nb)[None, :]
+                if upper_triangle else None)
     diffs = a[:, None, order] - b[None, :, order]
     if metric is None or metric.name == "euclidean":
         sq = diffs * diffs
@@ -179,18 +194,17 @@ def pairs_within_vector(a: np.ndarray, b: np.ndarray, eps_sq: float,
         aborted = exceeded.any(axis=2)
         first_exceed = np.argmax(exceeded, axis=2)
         evals = np.where(aborted, first_exceed + 1, a.shape[1])
-        if upper_triangle:
-            tested = np.triu(np.ones((na, nb), dtype=bool), k=1)
-            counters.distance_calculations += int(tested.sum())
-            counters.dimension_evaluations += int(evals[tested].sum())
+        if triangle is not None:
+            counters.distance_calculations += int(triangle.sum())
+            counters.dimension_evaluations += int(evals[triangle].sum())
         else:
             counters.distance_calculations += na * nb
             counters.dimension_evaluations += int(evals.sum())
     else:
         total = sq.max(axis=2) if combine_max else sq.sum(axis=2)
     within = total <= eps_sq
-    if upper_triangle:
-        within &= np.triu(np.ones((na, nb), dtype=bool), k=1)
+    if triangle is not None:
+        within &= triangle
     ia, ib = np.nonzero(within)
     if return_sq_distances:
         return ia, ib, total[ia, ib]

@@ -270,7 +270,8 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                        retry: Optional[RetryPolicy] = None,
                        checksums: bool = False,
                        checkpoint_dir: Optional[str] = None,
-                       resume: bool = False
+                       resume: bool = False,
+                       workers: int = 1
                        ) -> ExternalJoinReport:
     """External EGO self-join of a point file (the paper's full pipeline).
 
@@ -319,8 +320,18 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
         on resume).  After a crash, calling again with ``resume=True``
         (same directory, same parameters) skips completed work and
         produces a result file byte-identical to an uninterrupted run.
+    workers:
+        Unit-pair join parallelism.  With ``workers > 1`` the scheduled
+        unit pairs are joined on a process pool
+        (:class:`~repro.core.parallel.ParallelUnitJoiner`) while the
+        scheduler keeps streaming I/O; worker results are merged in
+        schedule order, so the result stream — including a
+        checkpointed run's durable pair file and journal — is
+        byte-identical to the serial run.
     """
     validate_epsilon(epsilon)
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
     codec = input_file.codec
     if sort_memory_records is None:
         per_unit = max(1, unit_bytes // codec.record_bytes)
@@ -465,11 +476,21 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                 journal.record_unit_pair(a, b, pair_file.count)
 
         join_time_before = sorted_disk_obj.simulated_time_s
-        scheduler = EGOScheduler(sorted_file, ctx, unit_bytes, buffer_units,
-                                 allow_crabstep=allow_crabstep,
-                                 pair_done=pair_done,
-                                 pair_complete=pair_complete)
-        schedule_stats = scheduler.run()
+        unit_joiner = None
+        if workers > 1:
+            from .parallel import ParallelUnitJoiner
+            unit_joiner = ParallelUnitJoiner(ctx, workers)
+        try:
+            scheduler = EGOScheduler(sorted_file, ctx, unit_bytes,
+                                     buffer_units,
+                                     allow_crabstep=allow_crabstep,
+                                     pair_done=pair_done,
+                                     pair_complete=pair_complete,
+                                     unit_joiner=unit_joiner)
+            schedule_stats = scheduler.run()
+        finally:
+            if unit_joiner is not None:
+                unit_joiner.close()
         join_io_time = sorted_disk_obj.simulated_time_s - join_time_before
 
         total_pairs = result.count

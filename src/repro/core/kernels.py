@@ -1,0 +1,285 @@
+"""High-throughput leaf kernels for the similarity join.
+
+Section 4.2 observes that the final point-distance tests dominate the
+CPU cost of the EGO join.  The ``vector`` engine in
+:mod:`repro.core.distance` materialises a full ``na × nb × d``
+difference cube per leaf; for the leaf sizes where numpy batching pays
+off, that cube is both the memory and the time bottleneck.  This module
+provides a BLAS-bound alternative:
+
+* :func:`pairs_within_matmul` — squared Euclidean distances via the
+  Gram identity ``‖p − q‖² = ‖p‖² + ‖q‖² − 2·(p·q)``, evaluated
+  blockwise with GEMM so peak memory is one ``block × block`` tile
+  instead of the full cube.  Borderline accepts (within a rounding
+  slack of the threshold) are re-verified with exact differences, so
+  the reported pair set and distances match the reference engines.
+* :func:`candidate_windows` — an EGO-sorted candidate-window prefilter:
+  ``searchsorted`` on the grid cells of one monotone dimension bounds
+  each point's candidate range to the ±1-cell band that can contain
+  join mates, shrinking the GEMM tiles before any arithmetic happens.
+* :class:`ScratchBuffers` — reusable per-join scratch for the Gram
+  tiles, norms and masks, so steady-state leaf joins allocate nothing
+  proportional to ``block²``.
+* :func:`select_engine` — the ``"auto"`` heuristic mapping leaf shape
+  and metric to the fastest engine.
+
+Counter semantics: the dense kernel has no early abort, so with
+``counters`` it charges one distance calculation and ``d`` dimension
+evaluations per candidate it evaluates (candidates excluded by the
+window prefilter are never charged).  The scalar/vector engines
+reconstruct the Figure-7 abort position instead; benchmarks that rely
+on abort accounting should keep using those.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..storage.stats import CPUCounters
+from .metrics import Metric
+
+#: Rows/columns of one GEMM tile.  256×256 tiles keep the Gram matrix,
+#: the candidate mask and the distance tile inside the L2 cache while
+#: still amortising the BLAS call overhead.
+DEFAULT_BLOCK = 256
+
+#: ``na*nb*d`` volume above which "auto" switches from the difference-cube
+#: ``vector`` engine to the GEMM engine.  Calibrated with
+#: ``benchmarks/bench_kernels.py``: the crossover sits near 64×64 points
+#: at d = 8; below it the einsum/broadcast path wins on call overhead.
+AUTO_MATMUL_VOLUME = 32768
+
+#: Engines a :class:`~repro.core.sequence_join.JoinContext` accepts.
+ENGINES = ("scalar", "vector", "matmul", "auto")
+
+
+def select_engine(engine: str, na: int, nb: int, dimensions: int,
+                  metric: Optional[Metric] = None) -> str:
+    """Resolve the ``"auto"`` engine choice for one leaf.
+
+    Explicit engine names pass through unchanged (``"matmul"`` with a
+    non-Euclidean metric falls back to ``"vector"`` inside
+    :func:`pairs_within_matmul` — the Gram identity only holds for L2).
+    ``"auto"`` picks GEMM for large Euclidean leaves and the
+    difference-cube engine otherwise.
+    """
+    if engine != "auto":
+        return engine
+    if metric is not None and metric.name != "euclidean":
+        return "vector"
+    if na * nb * dimensions >= AUTO_MATMUL_VOLUME:
+        return "matmul"
+    return "vector"
+
+
+class ScratchBuffers:
+    """Reusable scratch memory for the tiled GEMM kernel.
+
+    One instance lives on the :class:`JoinContext` of a join run, so the
+    Gram tile and norm buffers are allocated once and reused by every
+    leaf — the kernel's steady-state allocation is only the (small)
+    candidate index arrays it returns.
+    """
+
+    __slots__ = ("block", "_gram", "_norms_a", "_norms_b")
+
+    def __init__(self, block: int = DEFAULT_BLOCK) -> None:
+        if block < 1:
+            raise ValueError(f"block must be positive, got {block}")
+        self.block = block
+        self._gram = np.empty((block, block), dtype=np.float64)
+        self._norms_a = np.empty(block, dtype=np.float64)
+        self._norms_b = np.empty(block, dtype=np.float64)
+
+    def gram_tile(self, na: int, nb: int) -> np.ndarray:
+        """A writable ``na × nb`` view for one Gram tile."""
+        if na > self._gram.shape[0] or nb > self._gram.shape[1]:
+            self._gram = np.empty((max(na, self._gram.shape[0]),
+                                   max(nb, self._gram.shape[1])),
+                                  dtype=np.float64)
+        return self._gram[:na, :nb]
+
+    def norms(self, points: np.ndarray, which: str) -> np.ndarray:
+        """Squared row norms of ``points`` into a reused buffer."""
+        n = len(points)
+        buf = self._norms_a if which == "a" else self._norms_b
+        if n > len(buf):
+            buf = np.empty(n, dtype=np.float64)
+            if which == "a":
+                self._norms_a = buf
+            else:
+                self._norms_b = buf
+        out = buf[:n]
+        np.einsum("ij,ij->i", points, points, out=out)
+        return out
+
+
+def candidate_windows(a: np.ndarray, b: np.ndarray, dim: int,
+                      cell_width: float
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row candidate ranges ``[lo, hi)`` of ``a`` into ``b``.
+
+    Requires the grid cells of ``b[:, dim]`` (width ``cell_width``) to
+    be non-decreasing, which holds for any contiguous slice of an
+    EGO-sorted array in its active dimension (every earlier dimension is
+    cell-constant across the slice, so the lexicographic order sorts the
+    slice by this dimension's cells).  A joining pair satisfies
+    ``|p_dim − q_dim| ≤ ε ≤ cell_width``, so its cells differ by at most
+    one: the candidates of a point in cell ``c`` are exactly the ``b``
+    rows in cells ``c−1 … c+1``, located with two ``searchsorted`` calls.
+    """
+    cells_b = np.floor(b[:, dim] / cell_width).astype(np.int64)
+    cells_a = np.floor(a[:, dim] / cell_width).astype(np.int64)
+    lo = np.searchsorted(cells_b, cells_a - 1, side="left")
+    hi = np.searchsorted(cells_b, cells_a + 1, side="right")
+    return lo.astype(np.intp), hi.astype(np.intp)
+
+
+def _euclidean_slack(norms_a: np.ndarray, norms_b: np.ndarray,
+                     dimensions: int) -> float:
+    """Upper bound on the rounding error of the Gram-identity distances.
+
+    The expansion ``‖p‖² + ‖q‖² − 2 p·q`` accumulates roundoff
+    proportional to ``(‖p‖ + ‖q‖)²``; candidates within this slack of
+    the threshold are re-verified exactly, so the bound only needs to be
+    generous, not tight.
+    """
+    max_a = float(norms_a.max()) if len(norms_a) else 0.0
+    max_b = float(norms_b.max()) if len(norms_b) else 0.0
+    scale = (np.sqrt(max_a) + np.sqrt(max_b)) ** 2
+    eps = np.finfo(np.float64).eps
+    return 64.0 * eps * max(dimensions, 1) * max(scale, 1e-300)
+
+
+def pairs_within_matmul(a: np.ndarray, b: np.ndarray, eps_sq: float,
+                        order: np.ndarray,
+                        counters: Optional[CPUCounters] = None,
+                        upper_triangle: bool = False,
+                        return_sq_distances: bool = False,
+                        metric: Optional[Metric] = None,
+                        windows: Optional[Tuple[np.ndarray,
+                                                np.ndarray]] = None,
+                        scratch: Optional[ScratchBuffers] = None,
+                        block: int = DEFAULT_BLOCK):
+    """All index pairs within Euclidean distance, computed with GEMM.
+
+    Drop-in replacement for
+    :func:`~repro.core.distance.pairs_within_vector` returning the same
+    pair set (and, with ``return_sq_distances``, the same exact squared
+    distances — every accept within the rounding slack of the threshold
+    is re-verified from exact differences).  ``windows`` is an optional
+    ``(lo, hi)`` pair from :func:`candidate_windows` restricting each
+    ``a`` row's candidates; ``order`` is accepted for interface parity
+    (a dense kernel has no abort position, so the evaluation order is
+    irrelevant).
+
+    Non-Euclidean metrics delegate to the difference-cube engine: the
+    Gram identity is specific to L2.
+    """
+    if metric is not None and metric.name != "euclidean":
+        from .distance import pairs_within_vector
+        return pairs_within_vector(
+            a, b, eps_sq, order, counters=counters,
+            upper_triangle=upper_triangle,
+            return_sq_distances=return_sq_distances, metric=metric)
+    na, nb = len(a), len(b)
+    if na == 0 or nb == 0:
+        empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp))
+        if return_sq_distances:
+            return empty + (np.empty(0, dtype=np.float64),)
+        return empty
+    if scratch is None:
+        scratch = ScratchBuffers(block)
+    else:
+        block = scratch.block
+
+    norms_a = scratch.norms(a, "a")
+    norms_b = scratch.norms(b, "b")
+    slack = _euclidean_slack(norms_a, norms_b, a.shape[1])
+    lo = hi = None
+    if windows is not None:
+        lo, hi = windows
+
+    out_a, out_b, out_d = [], [], []
+    candidates_evaluated = 0
+    for i0 in range(0, na, block):
+        i1 = min(i0 + block, na)
+        # The union of this row block's windows: windows are contiguous
+        # in b, so the block only needs the covering range.  (The rows'
+        # cells in the window dimension need not be monotone when a and
+        # b are different slices, hence min/max over the block.)
+        if lo is not None:
+            j_start = int(lo[i0:i1].min())
+            j_end = int(hi[i0:i1].max())
+        else:
+            j_start, j_end = 0, nb
+        if upper_triangle:
+            j_start = max(j_start, i0 + 1)
+        if j_start >= j_end:
+            continue
+        a_blk = a[i0:i1]
+        for j0 in range(j_start, j_end, block):
+            j1 = min(j0 + block, j_end)
+            b_blk = b[j0:j1]
+            gram = scratch.gram_tile(i1 - i0, j1 - j0)
+            np.matmul(a_blk, b_blk.T, out=gram)
+            d2 = (norms_a[i0:i1, None] + norms_b[None, j0:j1]
+                  - 2.0 * gram)
+            mask = d2 <= eps_sq + slack
+            if lo is not None:
+                cols = np.arange(j0, j1, dtype=np.intp)
+                in_window = ((cols[None, :] >= lo[i0:i1, None])
+                             & (cols[None, :] < hi[i0:i1, None]))
+                if counters is not None:
+                    if upper_triangle:
+                        rows = np.arange(i0, i1, dtype=np.intp)
+                        candidates_evaluated += int(
+                            (in_window
+                             & (cols[None, :] > rows[:, None])).sum())
+                    else:
+                        candidates_evaluated += int(in_window.sum())
+                mask &= in_window
+            elif counters is not None:
+                if upper_triangle:
+                    rows = np.arange(i0, i1, dtype=np.intp)
+                    cols = np.arange(j0, j1, dtype=np.intp)
+                    candidates_evaluated += int(
+                        (cols[None, :] > rows[:, None]).sum())
+                else:
+                    candidates_evaluated += (i1 - i0) * (j1 - j0)
+            if upper_triangle:
+                rows = np.arange(i0, i1, dtype=np.intp)
+                cols = np.arange(j0, j1, dtype=np.intp)
+                mask &= cols[None, :] > rows[:, None]
+            ci, cj = np.nonzero(mask)
+            if len(ci) == 0:
+                continue
+            # Exact re-verification of the accepts: the Gram identity's
+            # rounding must neither admit nor drop boundary pairs, so
+            # the final decision (and the reported distance) comes from
+            # exact differences of the candidate rows only.
+            diffs = a_blk[ci] - b_blk[cj]
+            exact = np.einsum("ij,ij->i", diffs, diffs)
+            keep = exact <= eps_sq
+            if not keep.any():
+                continue
+            out_a.append((ci[keep] + i0).astype(np.intp))
+            out_b.append((cj[keep] + j0).astype(np.intp))
+            if return_sq_distances:
+                out_d.append(exact[keep])
+    if counters is not None:
+        counters.distance_calculations += candidates_evaluated
+        counters.dimension_evaluations += candidates_evaluated * a.shape[1]
+    if out_a:
+        ia = np.concatenate(out_a)
+        ib = np.concatenate(out_b)
+    else:
+        ia = np.empty(0, dtype=np.intp)
+        ib = np.empty(0, dtype=np.intp)
+    if return_sq_distances:
+        dist = (np.concatenate(out_d) if out_d
+                else np.empty(0, dtype=np.float64))
+        return ia, ib, dist
+    return ia, ib

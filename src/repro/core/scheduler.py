@@ -31,6 +31,7 @@ with LRU replacement, reproducing the thrashing behaviour of Figure 3b.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -38,7 +39,7 @@ import numpy as np
 from ..storage.buffer import BufferPool
 from ..storage.pagefile import PointFile
 from .ego_order import grid_cells, lex_less
-from .sequence_join import JoinContext, join_point_blocks
+from .sequence_join import JoinContext
 
 UnitData = Tuple[np.ndarray, np.ndarray]
 
@@ -100,6 +101,13 @@ class EGOScheduler:
         skipped.  ``pair_complete(a, b)`` fires after the pair's join
         finishes, letting the caller flush spilled results and record the
         pair in a :class:`~repro.storage.journal.Journal`.
+    unit_joiner:
+        Execution backend for the unit-pair joins.  ``None`` joins each
+        pair inline; a
+        :class:`~repro.core.parallel.ParallelUnitJoiner` computes pairs
+        on a process pool while the scheduler keeps streaming loads,
+        merging results (and firing ``pair_complete``) in submission
+        order so the output stream is identical to the inline run.
 
     The scheduler also degrades gracefully under storage pressure: when
     the file's disk exposes a true ``under_pressure`` attribute (see
@@ -113,8 +121,8 @@ class EGOScheduler:
                  allow_crabstep: bool = True,
                  trace: Optional[List[Tuple[str, int, int]]] = None,
                  pair_done: Optional[Callable[[int, int], bool]] = None,
-                 pair_complete: Optional[Callable[[int, int], None]] = None
-                 ) -> None:
+                 pair_complete: Optional[Callable[[int, int], None]] = None,
+                 unit_joiner=None) -> None:
         if buffer_units < 2:
             raise ValueError(
                 f"the scheduler needs at least 2 buffer frames, "
@@ -126,6 +134,10 @@ class EGOScheduler:
         self.trace = trace
         self.pair_done = pair_done
         self.pair_complete = pair_complete
+        if unit_joiner is None:
+            from .parallel import SerialUnitJoiner
+            unit_joiner = SerialUnitJoiner(ctx)
+        self.unit_joiner = unit_joiner
         self.stats = ScheduleStats()
         self.meta: Dict[int, UnitMeta] = {}
         self.pool: BufferPool[int, UnitData] = BufferPool(
@@ -197,15 +209,16 @@ class EGOScheduler:
         if self.trace is not None:
             self.trace.append(("join", min(a, b), max(a, b)))
         self.stats.unit_pairs_joined += 1
+        on_complete = None
+        if self.pair_complete is not None:
+            on_complete = partial(self.pair_complete, a, b)
         ids_a, pts_a = self.pool.peek(a).value
         if a == b:
-            join_point_blocks(ids_a, pts_a, ids_a, pts_a, self.ctx,
-                              same_block=True)
+            self.unit_joiner.submit(ids_a, pts_a, None, None, on_complete)
         else:
             ids_b, pts_b = self.pool.peek(b).value
-            join_point_blocks(ids_a, pts_a, ids_b, pts_b, self.ctx)
-        if self.pair_complete is not None:
-            self.pair_complete(a, b)
+            self.unit_joiner.submit(ids_a, pts_a, ids_b, pts_b,
+                                    on_complete)
 
     # -- the schedule ---------------------------------------------------------
 
@@ -228,6 +241,9 @@ class EGOScheduler:
                 i = self._gallop_step(i)
             else:
                 i = self._crabstep(i)
+        # All loads issued; wait for any unit pairs still in flight on a
+        # parallel joiner (inline joiners have nothing queued).
+        self.unit_joiner.drain()
         return self.stats
 
     def _gallop_sound(self, frontier: int) -> bool:

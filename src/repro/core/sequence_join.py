@@ -24,6 +24,8 @@ from ..storage.stats import CPUCounters
 from .distance import (dimension_ordering, natural_ordering,
                        pairs_within_scalar, pairs_within_vector)
 from .ego_order import lex_less, validate_epsilon
+from .kernels import (ENGINES, ScratchBuffers, candidate_windows,
+                      pairs_within_matmul, select_engine)
 from .metrics import Metric, get_metric
 from .result import JoinResult
 from .sequence import Sequence
@@ -49,6 +51,13 @@ class JoinContext:
     paper's pruning rules hold for the whole family, see
     :mod:`repro.core.metrics`).  ``threshold`` is the combined-value
     comparison bound the engines use (ε² for Euclidean).
+
+    ``engine`` picks the leaf distance kernel: ``"scalar"`` (the
+    literal Figure-7 loop), ``"vector"`` (difference-cube numpy),
+    ``"matmul"`` (tiled GEMM with candidate windowing, see
+    :mod:`repro.core.kernels`) or ``"auto"`` (per-leaf heuristic
+    choosing between ``vector`` and ``matmul`` by leaf volume and
+    metric).
     """
 
     epsilon: float
@@ -84,16 +93,25 @@ class JoinContext:
                     f"the join epsilon {self.epsilon}")
         if self.minlen < 1:
             raise ValueError(f"minlen must be at least 1, got {self.minlen}")
-        if self.engine not in ("vector", "scalar"):
-            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; known: {ENGINES}")
         if self.split_strategy not in ("half", "boundary"):
             raise ValueError(
                 f"unknown split_strategy {self.split_strategy!r}")
+        self._scratch = None
 
     @property
     def engine_metric(self) -> Optional[Metric]:
         """Metric passed to the distance engines (None = fast Euclidean)."""
         return None if self.metric.name == "euclidean" else self.metric
+
+    @property
+    def scratch(self) -> ScratchBuffers:
+        """Per-run scratch for the GEMM kernel (created on first use)."""
+        if self._scratch is None:
+            self._scratch = ScratchBuffers()
+        return self._scratch
 
 
 def _excluded(s: Sequence, t: Sequence, ctx: JoinContext) -> bool:
@@ -133,7 +151,21 @@ def simple_join(s: Sequence, t: Sequence, ctx: JoinContext,
         order = dimension_ordering(s, t)
     else:
         order = natural_ordering(s.dimensions)
-    if ctx.engine == "vector":
+    engine = select_engine(ctx.engine, len(s), len(t), s.dimensions,
+                           ctx.engine_metric)
+    extra = {}
+    if engine == "matmul":
+        finder = pairs_within_matmul
+        extra["scratch"] = ctx.scratch
+        # EGO-sorted candidate windowing: within the leaf slice ``t``
+        # every dimension before its active one is cell-constant, so
+        # the active dimension's cells are non-decreasing and bound
+        # each point's candidate range via searchsorted.
+        wdim = t.active_dimension()
+        if wdim is not None:
+            extra["windows"] = candidate_windows(
+                s.points, t.points, wdim, t.epsilon)
+    elif engine == "vector":
         finder = pairs_within_vector
     else:
         finder = pairs_within_scalar
@@ -142,14 +174,14 @@ def simple_join(s: Sequence, t: Sequence, ctx: JoinContext,
                                   order, counters=ctx.cpu,
                                   upper_triangle=upper_triangle,
                                   return_sq_distances=True,
-                                  metric=ctx.engine_metric)
+                                  metric=ctx.engine_metric, **extra)
         if len(ia):
             ctx.result.add_batch(s.ids[ia], t.ids[ib],
                                  distances=ctx.metric.finalize(combined))
     else:
         ia, ib = finder(s.points, t.points, ctx.threshold, order,
                         counters=ctx.cpu, upper_triangle=upper_triangle,
-                        metric=ctx.engine_metric)
+                        metric=ctx.engine_metric, **extra)
         if len(ia):
             ctx.result.add_batch(s.ids[ia], t.ids[ib])
 
