@@ -12,7 +12,11 @@ Subcommands cover the typical workflow on point files:
 * ``knn`` — exact k-nearest-neighbour graph via iterated joins;
 * ``optics`` — OPTICS cluster ordering via one join;
 * ``estimate`` — the query-optimizer cost model (add ``--file`` to
-  also predict the result cardinality from a data sample).
+  also predict the result cardinality from a data sample);
+* ``verify`` — seeded differential fuzzing of every join
+  implementation (see ``docs/TESTING.md``), with failure shrinking,
+  replayable artifacts and the engine × workers × storage acceptance
+  matrix.
 """
 
 from __future__ import annotations
@@ -291,6 +295,59 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Handle ``repro verify``."""
+    from .verify import fuzz as fuzz_mod
+    from .verify.fuzz import (acceptance_matrix, parse_budget,
+                              replay_artifact, run_fuzz)
+    from .verify.workloads import generate_workload
+
+    if args.replay:
+        still_fails, detail = replay_artifact(args.replay)
+        if still_fails:
+            print(f"artifact still fails: {detail}", file=sys.stderr)
+            return 1
+        print(f"artifact no longer fails: {detail}")
+        return 0
+
+    try:
+        budget = parse_budget(args.budget)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    configs = fuzz_mod.DEFAULT_CONFIGS
+    if args.impls:
+        wanted = {name.strip() for name in args.impls.split(",")}
+        configs = [c for c in configs
+                   if (c if isinstance(c, str) else c[0]) in wanted]
+        if not configs:
+            print(f"error: no known implementation in {args.impls!r}",
+                  file=sys.stderr)
+            return 2
+
+    exit_code = 0
+    if args.matrix:
+        w = generate_workload("clusters", args.matrix_points, args.dims,
+                              0.15, args.seed)
+        ok, digests = acceptance_matrix(w.points, w.epsilon)
+        for label, digest in sorted(digests.items()):
+            print(f"{digest[:16]}  {label}", file=sys.stderr)
+        print(f"acceptance matrix: "
+              f"{'identical' if ok else 'DIVERGED'} "
+              f"({len(digests)} configurations)", file=sys.stderr)
+        if not ok:
+            exit_code = 1
+
+    report = run_fuzz(seed=args.seed, budget_s=budget,
+                      dimensions=args.dims, max_points=args.max_points,
+                      configs=configs, artifact_dir=args.out,
+                      log=(lambda line: print(line, file=sys.stderr))
+                      if args.verbose else None)
+    print(report.describe())
+    return 1 if (exit_code or not report.ok) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -399,6 +456,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sample this point file to also predict the "
                         "result cardinality")
     e.set_defaults(func=cmd_estimate)
+
+    v = sub.add_parser("verify",
+                       help="seeded differential fuzzing of the joins")
+    v.add_argument("--seed", type=int, default=0,
+                   help="fuzz seed (trial i of a seed is deterministic)")
+    v.add_argument("--budget", default="60s", metavar="TIME",
+                   help="time budget, e.g. 30s, 2m (default 60s)")
+    v.add_argument("--dims", type=int, default=5,
+                   help="max dimensionality of fuzzed workloads")
+    v.add_argument("--max-points", type=int, default=120,
+                   help="max points per fuzzed workload")
+    v.add_argument("--impls", default=None, metavar="NAMES",
+                   help="comma list restricting the swept "
+                        "implementations (default: all)")
+    v.add_argument("--out", default=None, metavar="DIR",
+                   help="write replayable failure artifacts under DIR")
+    v.add_argument("--replay", default=None, metavar="ARTIFACT.json",
+                   help="re-run one dumped failure artifact and exit")
+    v.add_argument("--matrix", action="store_true",
+                   help="also run the engine × workers × storage "
+                        "acceptance matrix before fuzzing")
+    v.add_argument("--matrix-points", type=int, default=200,
+                   help="workload size for --matrix")
+    v.add_argument("--verbose", action="store_true",
+                   help="log every fuzz trial to stderr")
+    v.set_defaults(func=cmd_verify)
     return parser
 
 

@@ -45,11 +45,13 @@ from .sequence_join import DEFAULT_MINLEN, JoinContext, join_sequences
 def _make_context(epsilon: float, result: JoinResult, minlen: int,
                   engine: str, order_dimensions: bool,
                   cpu: Optional[CPUCounters],
-                  metric=None, split_strategy: str = "half") -> JoinContext:
+                  metric=None, split_strategy: str = "half",
+                  invariants: bool = False) -> JoinContext:
     return JoinContext(epsilon=epsilon, result=result, minlen=minlen,
                        engine=engine, order_dimensions=order_dimensions,
                        cpu=cpu, metric=metric,
-                       split_strategy=split_strategy)
+                       split_strategy=split_strategy,
+                       invariants=invariants)
 
 
 def ego_self_join(points: np.ndarray, epsilon: float,
@@ -59,7 +61,8 @@ def ego_self_join(points: np.ndarray, epsilon: float,
                   cpu: Optional[CPUCounters] = None,
                   result: Optional[JoinResult] = None,
                   metric=None, sort_dims=None,
-                  split_strategy: str = "half") -> JoinResult:
+                  split_strategy: str = "half",
+                  invariants: bool = False) -> JoinResult:
     """In-memory EGO similarity self-join.
 
     Returns every unordered pair of distinct points at distance at most
@@ -70,7 +73,8 @@ def ego_self_join(points: np.ndarray, epsilon: float,
     re-weighs the grid order's dimensions before sorting ("natural",
     "spread", "variance" or an explicit permutation — §4's sort-order
     modification); results are permutation-invariant, only pruning
-    changes.
+    changes.  ``invariants`` turns on the runtime invariant hooks of
+    :mod:`repro.verify.invariants` (used by the verification tests).
     """
     validate_epsilon(epsilon)
     pts = ensure_finite(points)
@@ -83,7 +87,8 @@ def ego_self_join(points: np.ndarray, epsilon: float,
         pts = np.ascontiguousarray(pts[:, perm])
     sorted_ids, sorted_pts = ego_sorted(pts, epsilon, ids)
     ctx = _make_context(epsilon, result, minlen, engine, order_dimensions,
-                        cpu, metric=metric, split_strategy=split_strategy)
+                        cpu, metric=metric, split_strategy=split_strategy,
+                        invariants=invariants)
     seq = Sequence(sorted_ids, sorted_pts, epsilon)
     join_sequences(seq, seq, ctx)
     return result
@@ -97,7 +102,8 @@ def ego_join(points_r: np.ndarray, points_s: np.ndarray, epsilon: float,
              cpu: Optional[CPUCounters] = None,
              result: Optional[JoinResult] = None,
              metric=None, sort_dims=None,
-             split_strategy: str = "half") -> JoinResult:
+             split_strategy: str = "half",
+             invariants: bool = False) -> JoinResult:
     """In-memory EGO similarity join of two point sets.
 
     Returns all pairs ``(r, s)`` with ``‖r − s‖ ≤ ε``; the first id of
@@ -122,7 +128,8 @@ def ego_join(points_r: np.ndarray, points_s: np.ndarray, epsilon: float,
     rid, rpts = ego_sorted(r, epsilon, ids_r)
     sid, spts = ego_sorted(s, epsilon, ids_s)
     ctx = _make_context(epsilon, result, minlen, engine, order_dimensions,
-                        cpu, metric=metric, split_strategy=split_strategy)
+                        cpu, metric=metric, split_strategy=split_strategy,
+                        invariants=invariants)
     join_sequences(Sequence(rid, rpts, epsilon),
                    Sequence(sid, spts, epsilon), ctx)
     return result
@@ -185,7 +192,8 @@ def ego_join_files(file_r: PointFile, file_s: PointFile, epsilon: float,
                    minlen: int = DEFAULT_MINLEN, engine: str = "vector",
                    order_dimensions: bool = True,
                    materialize: bool = True,
-                   metric=None) -> ExternalRSJoinReport:
+                   metric=None,
+                   invariants: bool = False) -> ExternalRSJoinReport:
     """External EGO join of two point files (R ⋈ S).
 
     Both files are externally sorted into epsilon grid order, then the
@@ -231,7 +239,7 @@ def ego_join_files(file_r: PointFile, file_s: PointFile, epsilon: float,
         result = JoinResult(materialize=materialize)
         ctx = JoinContext(epsilon=epsilon, result=result, minlen=minlen,
                           engine=engine, order_dimensions=order_dimensions,
-                          cpu=cpu, metric=metric)
+                          cpu=cpu, metric=metric, invariants=invariants)
         join_before = (sorted_r_disk.simulated_time_s
                        + sorted_s_disk.simulated_time_s)
         scheduler = TwoFileScheduler(sorted_r, sorted_s, ctx, unit_bytes,
@@ -271,7 +279,8 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                        checksums: bool = False,
                        checkpoint_dir: Optional[str] = None,
                        resume: bool = False,
-                       workers: int = 1
+                       workers: int = 1,
+                       invariants: bool = False
                        ) -> ExternalJoinReport:
     """External EGO self-join of a point file (the paper's full pipeline).
 
@@ -328,6 +337,13 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
         schedule order, so the result stream — including a
         checkpointed run's durable pair file and journal — is
         byte-identical to the serial run.
+    invariants:
+        Enable the runtime invariant hooks
+        (:mod:`repro.verify.invariants`): ε-interval coverage of the
+        schedule, gallop read-once, buffer pin balance, and pruning /
+        leaf checks in the recursion.  With ``workers > 1`` the
+        recursion-level checks run only for pairs joined in-process;
+        the schedule-level checks always run in the parent.
     """
     validate_epsilon(epsilon)
     if workers < 1:
@@ -461,7 +477,8 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
         ctx = JoinContext(epsilon=epsilon, result=result, minlen=minlen,
                           engine=engine, order_dimensions=order_dimensions,
                           cpu=cpu, metric=metric,
-                          grid_epsilon=grid_epsilon)
+                          grid_epsilon=grid_epsilon,
+                          invariants=invariants)
 
         pair_done = None
         pair_complete = None

@@ -140,8 +140,16 @@ class EGOScheduler:
         self.unit_joiner = unit_joiner
         self.stats = ScheduleStats()
         self.meta: Dict[int, UnitMeta] = {}
+        # The invariant monitor (ctx.invariants) watches gallop loads,
+        # joined unit pairs and buffer pins.  The thrashing variant
+        # (allow_crabstep=False) deliberately violates read-once, so the
+        # hooks only engage on the sound schedule.
+        self.monitor = getattr(ctx, "monitor", None) \
+            if allow_crabstep else None
         self.pool: BufferPool[int, UnitData] = BufferPool(
-            buffer_units, self._load_unit)
+            buffer_units, self._load_unit,
+            observer=(self.monitor.buffer_observer()
+                      if self.monitor is not None else None))
         # Only units in which at least one record starts take part in
         # the schedule: fragmentation can leave units holding nothing
         # but fragments (always the trailing unit; with units smaller
@@ -198,6 +206,8 @@ class EGOScheduler:
             # Completed (and made durable) before a crash; skip the work
             # but keep the schedule otherwise identical.
             self.stats.pairs_resumed += 1
+            if self.monitor is not None:
+                self.monitor.note_unit_pair(a, b)
             if self.trace is not None:
                 self.trace.append(("resume-skip", min(a, b), max(a, b)))
             return
@@ -209,6 +219,8 @@ class EGOScheduler:
         if self.trace is not None:
             self.trace.append(("join", min(a, b), max(a, b)))
         self.stats.unit_pairs_joined += 1
+        if self.monitor is not None:
+            self.monitor.note_unit_pair(a, b)
         on_complete = None
         if self.pair_complete is not None:
             on_complete = partial(self.pair_complete, a, b)
@@ -229,6 +241,8 @@ class EGOScheduler:
         base_capacity = self.pool.capacity
         self.pool.get(0)
         self.stats.gallop_loads += 1
+        if self.monitor is not None:
+            self.monitor.note_gallop_load(0)
         self._join_units(0, 0)
         i = 1
         while i < self.num_units:
@@ -244,6 +258,9 @@ class EGOScheduler:
         # All loads issued; wait for any unit pairs still in flight on a
         # parallel joiner (inline joiners have nothing queued).
         self.unit_joiner.drain()
+        if self.monitor is not None:
+            self.monitor.check_interval_coverage(self.meta, self.num_units)
+            self.monitor.assert_pin_balance()
         return self.stats
 
     def _gallop_sound(self, frontier: int) -> bool:
@@ -303,6 +320,8 @@ class EGOScheduler:
             partners = list(self.pool.resident_keys)
             self.pool.get(i)
             self.stats.gallop_loads += 1
+            if self.monitor is not None:
+                self.monitor.note_gallop_load(i)
             for b in partners:
                 self._join_units(b, i)
             self._join_units(i, i)

@@ -58,6 +58,14 @@ class JoinContext:
     :mod:`repro.core.kernels`) or ``"auto"`` (per-leaf heuristic
     choosing between ``vector`` and ``matmul`` by leaf volume and
     metric).
+
+    ``invariants`` enables the runtime invariant hooks of
+    :mod:`repro.verify.invariants`: pruning-soundness and leaf-exactness
+    checks in the recursion, and — when the context drives the I/O
+    scheduler — ε-interval coverage, gallop read-once and pin balance.
+    On by default in the verification tests, off in production runs (a
+    ready-made :class:`~repro.verify.invariants.InvariantMonitor` can
+    also be passed directly as ``monitor``).
     """
 
     epsilon: float
@@ -70,6 +78,8 @@ class JoinContext:
     metric: object = None
     grid_epsilon: Optional[float] = None
     split_strategy: str = "half"
+    invariants: bool = False
+    monitor: Optional[object] = None
     eps_sq: float = field(init=False)
     threshold: float = field(init=False)
 
@@ -99,6 +109,11 @@ class JoinContext:
         if self.split_strategy not in ("half", "boundary"):
             raise ValueError(
                 f"unknown split_strategy {self.split_strategy!r}")
+        if self.invariants and self.monitor is None:
+            # Imported lazily: repro.verify imports the core packages,
+            # so a module-level import here would be circular.
+            from ..verify.invariants import make_monitor
+            self.monitor = make_monitor(True)
         self._scratch = None
 
     @property
@@ -175,6 +190,8 @@ def simple_join(s: Sequence, t: Sequence, ctx: JoinContext,
                                   upper_triangle=upper_triangle,
                                   return_sq_distances=True,
                                   metric=ctx.engine_metric, **extra)
+        if ctx.monitor is not None:
+            ctx.monitor.check_leaf(s, t, ia, ib, ctx, upper_triangle)
         if len(ia):
             ctx.result.add_batch(s.ids[ia], t.ids[ib],
                                  distances=ctx.metric.finalize(combined))
@@ -182,6 +199,8 @@ def simple_join(s: Sequence, t: Sequence, ctx: JoinContext,
         ia, ib = finder(s.points, t.points, ctx.threshold, order,
                         counters=ctx.cpu, upper_triangle=upper_triangle,
                         metric=ctx.engine_metric, **extra)
+        if ctx.monitor is not None:
+            ctx.monitor.check_leaf(s, t, ia, ib, ctx, upper_triangle)
         if len(ia):
             ctx.result.add_batch(s.ids[ia], t.ids[ib])
 
@@ -214,6 +233,10 @@ def join_sequences(s: Sequence, t: Sequence, ctx: JoinContext) -> None:
     if _excluded(s, t, ctx):
         if ctx.cpu is not None:
             ctx.cpu.sequence_exclusions += 1
+        if ctx.monitor is not None:
+            # Pruning soundness (Section 3.3 / Lemma 2): the excluded
+            # sequence pair must genuinely contain no pair within ε.
+            ctx.monitor.check_prune(s, t, ctx)
         return
 
     self_pair = s.same_storage(t)

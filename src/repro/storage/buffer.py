@@ -58,13 +58,22 @@ class BufferPool(Generic[K, V]):
     loader:
         Callback invoked on a miss to fetch the page for a key (it is the
         loader that touches the disk, so misses are what cost I/O).
+
+    The pool optionally reports pin-lifecycle events to an ``observer``
+    (any object with ``on_pin(key)``, ``on_unpin(key)``,
+    ``on_discard(key, pinned)`` and ``on_evict(key, pinned)``); the
+    verification subsystem uses this to assert pin/unpin balance and
+    that no pinned frame is ever dropped
+    (:class:`repro.verify.invariants.InvariantMonitor`).
     """
 
-    def __init__(self, capacity: int, loader: Callable[[K], V]) -> None:
+    def __init__(self, capacity: int, loader: Callable[[K], V],
+                 observer=None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.loader = loader
+        self.observer = observer
         self.stats = BufferStats()
         self._frames: Dict[K, Frame[K, V]] = {}
         self._clock = 0
@@ -107,6 +116,12 @@ class BufferPool(Generic[K, V]):
         self._clock += 1
         frame.last_used = self._clock
 
+    def _pin_frame(self, frame: Frame[K, V]) -> None:
+        if not frame.pinned:
+            frame.pinned = True
+            if self.observer is not None:
+                self.observer.on_pin(frame.key)
+
     def _evict_one(self) -> None:
         victims = [f for f in self._frames.values() if not f.pinned]
         if not victims:
@@ -115,6 +130,8 @@ class BufferPool(Generic[K, V]):
         victim = min(victims, key=lambda f: f.last_used)
         del self._frames[victim.key]
         self.stats.evictions += 1
+        if self.observer is not None:
+            self.observer.on_evict(victim.key, victim.pinned)
 
     def set_capacity(self, capacity: int) -> int:
         """Resize the pool, evicting unpinned LRU frames as needed.
@@ -138,15 +155,17 @@ class BufferPool(Generic[K, V]):
             self.stats.hits += 1
             self._touch(frame)
             if pin:
-                frame.pinned = True
+                self._pin_frame(frame)
             return frame.value
         self.stats.misses += 1
         if len(self._frames) >= self.capacity:
             self._evict_one()
         value = self.loader(key)
-        frame = Frame(key=key, value=value, pinned=pin)
+        frame = Frame(key=key, value=value)
         self._touch(frame)
         self._frames[key] = frame
+        if pin:
+            self._pin_frame(frame)
         return value
 
     def peek(self, key: K) -> Frame[K, V]:
@@ -155,20 +174,29 @@ class BufferPool(Generic[K, V]):
 
     def pin(self, key: K) -> None:
         """Pin a resident page so it cannot be evicted."""
-        self._frames[key].pinned = True
+        self._pin_frame(self._frames[key])
 
     def unpin(self, key: K) -> None:
         """Remove the pin from a resident page."""
-        self._frames[key].pinned = False
+        frame = self._frames[key]
+        if frame.pinned:
+            frame.pinned = False
+            if self.observer is not None:
+                self.observer.on_unpin(key)
 
     def unpin_all(self) -> None:
         """Remove the pins from every resident page."""
         for frame in self._frames.values():
-            frame.pinned = False
+            if frame.pinned:
+                frame.pinned = False
+                if self.observer is not None:
+                    self.observer.on_unpin(frame.key)
 
     def discard(self, key: K) -> None:
         """Drop a resident page (no-op if absent); pins do not protect it."""
-        self._frames.pop(key, None)
+        frame = self._frames.pop(key, None)
+        if frame is not None and self.observer is not None:
+            self.observer.on_discard(key, frame.pinned)
 
     def clear(self) -> None:
         """Drop every resident page."""

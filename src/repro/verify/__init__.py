@@ -1,0 +1,73 @@
+"""Differential verification subsystem.
+
+Machine-checks the property every PR claims informally: all join
+configurations — any algorithm, engine, worker count or storage wrapper
+— produce the identical pair set.  Four layers:
+
+* :mod:`~repro.verify.canonical` — canonical pair sets, digests, diffs;
+* :mod:`~repro.verify.oracle` — the implementation registry and
+  differential comparison;
+* :mod:`~repro.verify.metamorphic` — input-transformation relations
+  that need no reference implementation;
+* :mod:`~repro.verify.invariants` — runtime hooks asserting the
+  paper's lemmata inside the scheduler, buffer pool and sequence join
+  (enabled by ``JoinContext(invariants=True)``);
+* :mod:`~repro.verify.fuzz` — the seeded fuzz driver behind
+  ``python -m repro verify``, with shrinking and replayable artifacts.
+
+See ``docs/TESTING.md`` for the workflow.
+"""
+
+from .canonical import (PairSetDiff, canonical_pairs, diff_pairs,
+                        pair_digest)
+from .fuzz import (DEFAULT_CONFIGS, FuzzFailure, FuzzReport,
+                   acceptance_matrix, dump_artifact, parse_budget,
+                   replay_artifact, run_fuzz, shrink_workload)
+from .invariants import InvariantMonitor, InvariantViolation, make_monitor
+from .metamorphic import (RELATION_NAMES, RelationReport,
+                          check_epsilon_nesting, check_permutation,
+                          check_rs_symmetry, check_self_vs_rr,
+                          check_translation, run_relations)
+from .oracle import (REGISTRY, STORAGE_MODES, DifferentialReport,
+                     ImplOutcome, OracleEntry, differential_check,
+                     implementations, register, run_impl)
+from .workloads import WORKLOAD_KINDS, Workload, generate_workload
+
+__all__ = [
+    "DEFAULT_CONFIGS",
+    "DifferentialReport",
+    "FuzzFailure",
+    "FuzzReport",
+    "ImplOutcome",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "OracleEntry",
+    "PairSetDiff",
+    "REGISTRY",
+    "RELATION_NAMES",
+    "RelationReport",
+    "STORAGE_MODES",
+    "WORKLOAD_KINDS",
+    "Workload",
+    "acceptance_matrix",
+    "canonical_pairs",
+    "check_epsilon_nesting",
+    "check_permutation",
+    "check_rs_symmetry",
+    "check_self_vs_rr",
+    "check_translation",
+    "diff_pairs",
+    "differential_check",
+    "dump_artifact",
+    "generate_workload",
+    "implementations",
+    "make_monitor",
+    "pair_digest",
+    "parse_budget",
+    "register",
+    "replay_artifact",
+    "run_fuzz",
+    "run_impl",
+    "run_relations",
+    "shrink_workload",
+]

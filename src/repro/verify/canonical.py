@@ -1,0 +1,150 @@
+"""Canonical pair-set representation for differential comparison.
+
+Every join implementation in this repository reports its result pairs in
+its own traversal order, with its own id orientation (a self-join may
+emit ``(a, b)`` or ``(b, a)``) and occasionally with duplicates across
+implementation-internal batches.  To compare two implementations the
+results must first be put into one canonical form: an ``(n, 2)`` int64
+array of ``(min, max)`` id pairs, diagonal entries dropped, sorted
+lexicographically, duplicates removed.  Two runs agree iff their
+canonical arrays are byte-identical — which also yields a stable digest
+for cheap equality checks across process boundaries (CI logs, fuzz
+artifacts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+from ..core.result import JoinResult
+
+PairsLike = Union[JoinResult, Tuple[np.ndarray, np.ndarray], np.ndarray,
+                  Iterable[Tuple[int, int]]]
+
+
+def _as_id_arrays(pairs: PairsLike) -> Tuple[np.ndarray, np.ndarray]:
+    if isinstance(pairs, JoinResult):
+        return pairs.pairs()
+    if isinstance(pairs, np.ndarray):
+        if pairs.size == 0:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64))
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(
+                f"pair array must have shape (n, 2), got {pairs.shape}")
+        return pairs[:, 0], pairs[:, 1]
+    if isinstance(pairs, tuple) and len(pairs) == 2:
+        return (np.asarray(pairs[0], dtype=np.int64),
+                np.asarray(pairs[1], dtype=np.int64))
+    listed = list(pairs)
+    if not listed:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    arr = np.asarray(listed, dtype=np.int64)
+    return arr[:, 0], arr[:, 1]
+
+
+def canonical_pairs(pairs: PairsLike, ordered: bool = False,
+                    keep_diagonal: bool = False) -> np.ndarray:
+    """Canonicalise a pair collection to a sorted, deduplicated array.
+
+    Parameters
+    ----------
+    pairs:
+        A :class:`~repro.core.result.JoinResult`, two parallel id
+        arrays, an ``(n, 2)`` array, or an iterable of 2-tuples.
+    ordered:
+        Keep pair orientation (two-set R ⋈ S semantics).  The default
+        treats pairs as unordered (self-join semantics) and maps each to
+        ``(min, max)``.
+    keep_diagonal:
+        Keep ``(i, i)`` pairs; by default they are dropped, which lets a
+        two-set join of a set with itself be compared against a
+        self-join.
+    """
+    a, b = _as_id_arrays(pairs)
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if len(a) != len(b):
+        raise ValueError(
+            f"id arrays differ in length: {len(a)} vs {len(b)}")
+    if not ordered:
+        a, b = np.minimum(a, b), np.maximum(a, b)
+    if not keep_diagonal:
+        off = a != b
+        a, b = a[off], b[off]
+    stacked = np.column_stack([a, b]) if len(a) else \
+        np.empty((0, 2), dtype=np.int64)
+    if len(stacked) > 1:
+        order = np.lexsort((stacked[:, 1], stacked[:, 0]))
+        stacked = stacked[order]
+        keep = np.ones(len(stacked), dtype=bool)
+        keep[1:] = (np.diff(stacked, axis=0) != 0).any(axis=1)
+        stacked = stacked[keep]
+    return np.ascontiguousarray(stacked)
+
+
+def pair_digest(canonical: np.ndarray) -> str:
+    """SHA-256 hex digest of a canonical pair array (shape-stable)."""
+    arr = np.ascontiguousarray(canonical, dtype=np.int64)
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _rows_as_set(arr: np.ndarray) -> set:
+    return {(int(r[0]), int(r[1])) for r in arr}
+
+
+@dataclass
+class PairSetDiff:
+    """Difference between an expected and an observed canonical pair set."""
+
+    expected_count: int
+    observed_count: int
+    missing: np.ndarray = field(repr=False)
+    extra: np.ndarray = field(repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when the two pair sets are identical."""
+        return len(self.missing) == 0 and len(self.extra) == 0
+
+    def summary(self, limit: int = 5) -> str:
+        """A short human-readable account of the difference."""
+        if self.ok:
+            return f"identical ({self.expected_count} pairs)"
+        parts = [f"{self.expected_count} expected vs "
+                 f"{self.observed_count} observed"]
+        if len(self.missing):
+            shown = ", ".join(str((int(r[0]), int(r[1])))
+                              for r in self.missing[:limit])
+            parts.append(f"{len(self.missing)} missing (e.g. {shown})")
+        if len(self.extra):
+            shown = ", ".join(str((int(r[0]), int(r[1])))
+                              for r in self.extra[:limit])
+            parts.append(f"{len(self.extra)} extra (e.g. {shown})")
+        return "; ".join(parts)
+
+
+def diff_pairs(expected: PairsLike, observed: PairsLike,
+               ordered: bool = False) -> PairSetDiff:
+    """Compare two pair collections after canonicalisation."""
+    exp = canonical_pairs(expected, ordered=ordered)
+    obs = canonical_pairs(observed, ordered=ordered)
+    exp_set = _rows_as_set(exp)
+    obs_set = _rows_as_set(obs)
+    missing = sorted(exp_set - obs_set)
+    extra = sorted(obs_set - exp_set)
+
+    def as_array(rows) -> np.ndarray:
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    return PairSetDiff(expected_count=len(exp), observed_count=len(obs),
+                       missing=as_array(missing), extra=as_array(extra))

@@ -1,0 +1,147 @@
+"""Metamorphic relations over the similarity join.
+
+Each relation transforms a workload in a way whose effect on the exact
+result set is known a priori, runs the implementation on both sides,
+and checks the predicted correspondence:
+
+* **permutation invariance** — shuffling the input rows (keeping ids
+  attached) must not change the unordered pair set;
+* **translation invariance** — adding a constant vector to every point
+  must not change it either (the ε-grid shifts, the distances do not);
+* **ε-monotonicity** — the result at ε₁ ≤ ε₂ is a subset of the result
+  at ε₂, and planted boundary pairs make the inclusion strict;
+* **R ⋈ S symmetry** — swapping the two inputs mirrors every pair;
+* **self ≡ R ⋈ R** — the self-join equals the two-set join of a set
+  with itself minus the diagonal (after canonicalisation).
+
+Relations need no reference implementation, which makes them the layer
+that can catch a bug shared by *every* implementation (a misread of the
+paper, say) — the differential oracle alone cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.ego_join import ego_join
+from .canonical import canonical_pairs, diff_pairs
+from .oracle import REGISTRY, run_impl
+
+RELATION_NAMES = ("permutation", "translation", "epsilon_nesting",
+                  "rs_symmetry", "self_vs_rr")
+
+
+@dataclass
+class RelationReport:
+    """Outcome of one metamorphic relation check."""
+
+    relation: str
+    impl: str
+    ok: bool
+    detail: str = ""
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "VIOLATED"
+        text = f"{self.relation}({self.impl}): {status}"
+        return f"{text} — {self.detail}" if self.detail else text
+
+
+def check_permutation(impl: str, points: np.ndarray, epsilon: float,
+                      seed: int = 0, **options) -> RelationReport:
+    """Shuffling rows while keeping ids attached is a no-op."""
+    base = run_impl(impl, points, epsilon, **options)
+    perm = np.random.default_rng(seed).permutation(len(points))
+    shuffled = run_impl(impl, points[perm], epsilon,
+                        ids=perm.astype(np.int64), **options)
+    diff = diff_pairs(base, shuffled)
+    return RelationReport("permutation", impl, diff.ok, diff.summary())
+
+
+def check_translation(impl: str, points: np.ndarray, epsilon: float,
+                      offset: Optional[np.ndarray] = None,
+                      **options) -> RelationReport:
+    """A rigid translation preserves all distances, hence the result."""
+    entry = REGISTRY.get(impl)
+    if entry is not None and entry.unit_cube_only:
+        return RelationReport("translation", impl, True,
+                              "skipped: unit-cube-only implementation")
+    if offset is None:
+        # An offset that is *not* an ε multiple, so every grid cell
+        # boundary moves relative to the data.
+        offset = np.full(points.shape[1], 0.37 * epsilon + 1.25)
+    base = run_impl(impl, points, epsilon, **options)
+    moved = run_impl(impl, points + offset, epsilon, **options)
+    diff = diff_pairs(base, moved)
+    return RelationReport("translation", impl, diff.ok, diff.summary())
+
+
+def check_epsilon_nesting(impl: str, points: np.ndarray,
+                          epsilons: Sequence[float],
+                          **options) -> RelationReport:
+    """Result sets are nested along a growing ε ladder."""
+    eps_sorted = sorted(float(e) for e in epsilons)
+    previous = None
+    prev_eps = None
+    for eps in eps_sorted:
+        current = {tuple(r) for r in run_impl(impl, points, eps, **options)}
+        if previous is not None and not previous <= current:
+            dropped = sorted(previous - current)[:5]
+            return RelationReport(
+                "epsilon_nesting", impl, False,
+                f"pairs at ε={prev_eps} missing at ε={eps}: {dropped}")
+        previous, prev_eps = current, eps
+    return RelationReport("epsilon_nesting", impl, True,
+                          f"nested over {len(eps_sorted)} epsilons")
+
+
+def check_rs_symmetry(points_r: np.ndarray, points_s: np.ndarray,
+                      epsilon: float, **options) -> RelationReport:
+    """R ⋈ S equals the mirror of S ⋈ R (two-set EGO join)."""
+    rs = ego_join(points_r, points_s, epsilon, **options)
+    sr = ego_join(points_s, points_r, epsilon, **options)
+    forward = canonical_pairs(rs.pairs(), ordered=True, keep_diagonal=True)
+    a, b = sr.pairs()
+    mirrored = canonical_pairs((b, a), ordered=True, keep_diagonal=True)
+    diff = diff_pairs(forward, mirrored, ordered=True)
+    return RelationReport("rs_symmetry", "ego_join", diff.ok,
+                          diff.summary())
+
+
+def check_self_vs_rr(impl: str, points: np.ndarray, epsilon: float,
+                     **options) -> RelationReport:
+    """Self-join ≡ R ⋈ R minus the diagonal (canonical unordered form)."""
+    self_pairs = run_impl(impl, points, epsilon, **options)
+    rr = ego_join(points, points, epsilon)
+    diff = diff_pairs(self_pairs, canonical_pairs(rr.pairs()))
+    return RelationReport("self_vs_rr", impl, diff.ok, diff.summary())
+
+
+def run_relations(impl: str, points: np.ndarray, epsilon: float,
+                  seed: int = 0, relations: Sequence[str] = RELATION_NAMES,
+                  **options) -> List[RelationReport]:
+    """Run the named relations for one implementation on one workload."""
+    reports: List[RelationReport] = []
+    for relation in relations:
+        if relation == "permutation":
+            reports.append(check_permutation(impl, points, epsilon,
+                                             seed=seed, **options))
+        elif relation == "translation":
+            reports.append(check_translation(impl, points, epsilon,
+                                             **options))
+        elif relation == "epsilon_nesting":
+            ladder = (0.5 * epsilon, epsilon, 1.5 * epsilon)
+            reports.append(check_epsilon_nesting(impl, points, ladder,
+                                                 **options))
+        elif relation == "rs_symmetry":
+            half = max(1, len(points) // 2)
+            reports.append(check_rs_symmetry(points[:half], points[half:],
+                                             epsilon))
+        elif relation == "self_vs_rr":
+            reports.append(check_self_vs_rr(impl, points, epsilon,
+                                            **options))
+        else:
+            raise ValueError(f"unknown relation {relation!r}")
+    return reports

@@ -1,0 +1,381 @@
+"""Oracle registry: every join implementation behind one interface.
+
+The repository has many ways to compute the same ε self-join — the EGO
+recursion with three leaf engines, the external pipeline with serial or
+parallel unit joins and three storage wrappers, and the competitor
+algorithms (brute force, grid hash, spatial hash, RSJ, MSJ, ε-kdB, MuX,
+Z-order-RSJ).  The registry wraps each behind one signature::
+
+    fn(points, epsilon, ids=None, **options) -> canonical (n, 2) array
+
+so any two can be differentially compared on any workload, and the fuzz
+driver can sweep configuration axes (``engine``, ``workers``,
+``storage``) without knowing anything implementation-specific.
+
+``differential_check`` runs a set of implementations against a
+reference (brute force by default) and reports, per implementation, the
+canonical-pair-set difference — empty everywhere iff all configurations
+produced the identical pair set.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.ego_join import ego_join_files, ego_self_join, ego_self_join_file
+from ..core.parallel import ego_self_join_parallel
+from ..joins.brute import brute_force_self_join
+from ..joins.epskdb_join import epskdb_self_join
+from ..joins.grid_hash import grid_hash_self_join
+from ..joins.msj_join import msj_self_join
+from ..joins.mux_join import mux_self_join
+from ..joins.rsj import rsj_self_join
+from ..joins.spatial_hash import spatial_hash_self_join
+from ..joins.zorder_rsj import zorder_rsj_self_join
+from ..storage.disk import SimulatedDisk
+from ..storage.faults import FaultPlan, SimulatedCrash
+from ..storage.integrity import RetryPolicy
+from ..storage.pagefile import PointFile
+from ..storage.pairfile import PairFile
+from ..storage.records import record_size
+from .canonical import PairSetDiff, canonical_pairs, diff_pairs
+
+OracleFn = Callable[..., np.ndarray]
+
+#: Storage wrappers the external pipeline can run under.
+STORAGE_MODES = ("plain", "checksummed", "crash_resume")
+
+
+@dataclass
+class OracleEntry:
+    """One registered join implementation."""
+
+    name: str
+    fn: OracleFn
+    #: Option names the implementation accepts (for sweep generation).
+    options: Sequence[str] = ()
+    #: The implementation requires data in the unit hypercube (so
+    #: translation metamorphic relations must not be applied to it).
+    unit_cube_only: bool = False
+    #: Runs the full external pipeline (slower; the fuzz driver caps n).
+    external: bool = False
+
+
+REGISTRY: Dict[str, OracleEntry] = {}
+
+
+def register(name: str, options: Sequence[str] = (),
+             unit_cube_only: bool = False, external: bool = False):
+    """Decorator adding an implementation to the registry."""
+
+    def wrap(fn: OracleFn) -> OracleFn:
+        REGISTRY[name] = OracleEntry(name=name, fn=fn, options=options,
+                                     unit_cube_only=unit_cube_only,
+                                     external=external)
+        return fn
+
+    return wrap
+
+
+def implementations(include_external: bool = True) -> List[str]:
+    """Registered implementation names, stable order."""
+    return [name for name, entry in REGISTRY.items()
+            if include_external or not entry.external]
+
+
+def run_impl(name: str, points: np.ndarray, epsilon: float,
+             ids: Optional[np.ndarray] = None, **options) -> np.ndarray:
+    """Run a registered implementation, returning canonical pairs."""
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown implementation {name!r}; known: {sorted(REGISTRY)}")
+    return REGISTRY[name].fn(points, epsilon, ids=ids, **options)
+
+
+# -- in-memory EGO variants -------------------------------------------------
+
+
+@register("ego", options=("engine", "minlen", "split_strategy",
+                          "order_dimensions", "sort_dims", "invariants"))
+def _ego(points, epsilon, ids=None, *, engine="vector", minlen=None,
+         split_strategy="half", order_dimensions=True, sort_dims=None,
+         invariants=False) -> np.ndarray:
+    kwargs = {} if minlen is None else {"minlen": minlen}
+    res = ego_self_join(points, epsilon, ids=ids, engine=engine,
+                        split_strategy=split_strategy,
+                        order_dimensions=order_dimensions,
+                        sort_dims=sort_dims, invariants=invariants,
+                        **kwargs)
+    return canonical_pairs(res)
+
+
+@register("ego_parallel", options=("engine", "workers", "chunks"))
+def _ego_parallel(points, epsilon, ids=None, *, engine="vector",
+                  workers=2, chunks=None) -> np.ndarray:
+    res = ego_self_join_parallel(points, epsilon, ids=ids, engine=engine,
+                                 workers=workers, chunks=chunks)
+    return canonical_pairs(res)
+
+
+# -- external EGO pipeline --------------------------------------------------
+
+
+def _external_geometry(points: np.ndarray, unit_records: int,
+                       buffer_units: int):
+    rec = record_size(points.shape[1])
+    return max(rec, unit_records * rec), max(2, buffer_units)
+
+
+def _write_point_file(disk: SimulatedDisk, points: np.ndarray,
+                      ids: Optional[np.ndarray]) -> PointFile:
+    if ids is None:
+        ids = np.arange(len(points), dtype=np.int64)
+    pf = PointFile.create(disk, points.shape[1])
+    pf.append(np.asarray(ids, dtype=np.int64),
+              np.asarray(points, dtype=np.float64))
+    pf.close()
+    return pf
+
+
+@register("ego_external",
+          options=("engine", "workers", "storage", "unit_records",
+                   "buffer_units", "crash_op", "invariants"),
+          external=True)
+def _ego_external(points, epsilon, ids=None, *, engine="vector",
+                  workers=1, storage="plain", unit_records=24,
+                  buffer_units=4, crash_op=64,
+                  invariants=False) -> np.ndarray:
+    """The full external pipeline under a chosen storage wrapper.
+
+    ``storage`` picks the wrapper: ``plain`` (bare simulated disk),
+    ``checksummed`` (per-page CRC32 plus a bounded-retry policy) or
+    ``crash_resume`` (checkpointed run killed by a scheduled crash at
+    global operation ``crash_op``, then resumed; the canonical pairs
+    are read back from the durable pair file).
+    """
+    if storage not in STORAGE_MODES:
+        raise ValueError(
+            f"unknown storage mode {storage!r}; known: {STORAGE_MODES}")
+    pts = np.asarray(points, dtype=np.float64)
+    unit_bytes, buffer_units = _external_geometry(pts, unit_records,
+                                                  buffer_units)
+    common = dict(unit_bytes=unit_bytes, buffer_units=buffer_units,
+                  engine=engine, workers=workers, invariants=invariants)
+    with SimulatedDisk() as disk:
+        pf = _write_point_file(disk, pts, ids)
+        if storage == "plain":
+            report = ego_self_join_file(pf, epsilon, **common)
+            return canonical_pairs(report.result)
+        if storage == "checksummed":
+            report = ego_self_join_file(
+                pf, epsilon, checksums=True,
+                retry=RetryPolicy(max_attempts=3), **common)
+            return canonical_pairs(report.result)
+        with tempfile.TemporaryDirectory(prefix="ego-verify-") as ck:
+            plan = FaultPlan(seed=0, crash_ops=[crash_op])
+            try:
+                ego_self_join_file(pf, epsilon, checkpoint_dir=ck,
+                                   fault_plan=plan, **common)
+            except SimulatedCrash:
+                ego_self_join_file(pf, epsilon, checkpoint_dir=ck,
+                                   resume=True, **common)
+            with SimulatedDisk(path=os.path.join(ck, "result.prs")) as rd:
+                a, b, _ = PairFile.open(rd).read_all()
+            return canonical_pairs((a, b))
+
+
+@register("ego_rs_files", options=("engine", "unit_records",
+                                   "buffer_units"), external=True)
+def _ego_rs_files(points, epsilon, ids=None, *, engine="vector",
+                  unit_records=24, buffer_units=4) -> np.ndarray:
+    """R ⋈ S external join with R = S, reduced to self-join semantics.
+
+    ``ego_join_files`` on the same data uses two-set semantics (mirrored
+    pairs and the diagonal included); canonicalisation strips both, so
+    the result is directly comparable with every self-join.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    unit_bytes, buffer_units = _external_geometry(pts, unit_records,
+                                                  buffer_units)
+    with SimulatedDisk() as disk_r, SimulatedDisk() as disk_s:
+        fr = _write_point_file(disk_r, pts, ids)
+        fs = _write_point_file(disk_s, pts, ids)
+        report = ego_join_files(fr, fs, epsilon, unit_bytes=unit_bytes,
+                                buffer_units=buffer_units, engine=engine)
+    return canonical_pairs(report.result)
+
+
+# -- competitor algorithms --------------------------------------------------
+
+
+@register("brute")
+def _brute(points, epsilon, ids=None) -> np.ndarray:
+    return canonical_pairs(brute_force_self_join(points, epsilon, ids=ids))
+
+
+@register("grid_hash", options=("prefix_dims",))
+def _grid_hash(points, epsilon, ids=None, *, prefix_dims=None) -> np.ndarray:
+    return canonical_pairs(grid_hash_self_join(points, epsilon, ids=ids,
+                                               prefix_dims=prefix_dims))
+
+
+@register("spatial_hash", options=("bucket_capacity",))
+def _spatial_hash(points, epsilon, ids=None, *,
+                  bucket_capacity=None) -> np.ndarray:
+    kwargs = {} if bucket_capacity is None \
+        else {"bucket_capacity": bucket_capacity}
+    report = spatial_hash_self_join(points, epsilon, **kwargs)
+    return _with_ids(canonical_pairs(report.result), ids)
+
+
+@register("msj", unit_cube_only=True)
+def _msj(points, epsilon, ids=None) -> np.ndarray:
+    report = msj_self_join(points, epsilon)
+    return _with_ids(canonical_pairs(report.result), ids)
+
+
+@register("epskdb", options=("node_capacity",))
+def _epskdb(points, epsilon, ids=None, *, node_capacity=None) -> np.ndarray:
+    pts = np.asarray(points, dtype=np.float64)
+    if ids is None:
+        ids = np.arange(len(pts), dtype=np.int64)
+    kwargs = {} if node_capacity is None \
+        else {"node_capacity": node_capacity}
+    report = epskdb_self_join(np.asarray(ids, dtype=np.int64), pts, epsilon,
+                              cache_records=4 * max(1, len(pts)),
+                              force=True, **kwargs)
+    return canonical_pairs(report.result)
+
+
+def _with_ids(canon: np.ndarray, ids: Optional[np.ndarray]) -> np.ndarray:
+    """Map positional pair ids through an explicit id array."""
+    if ids is None or len(canon) == 0:
+        return canon
+    ids = np.asarray(ids, dtype=np.int64)
+    return canonical_pairs((ids[canon[:, 0]], ids[canon[:, 1]]))
+
+
+def _rtree_join(points, epsilon, ids, joiner, page_records=16,
+                pool_pages=8) -> np.ndarray:
+    from ..index.rtree import RTree
+
+    pts = np.asarray(points, dtype=np.float64)
+    if ids is None:
+        ids = np.arange(len(pts), dtype=np.int64)
+    with SimulatedDisk() as disk:
+        tree = RTree.bulk_load(np.asarray(ids, dtype=np.int64), pts, disk,
+                               page_records)
+        report = joiner(tree, epsilon, pool_pages)
+    return canonical_pairs(report.result)
+
+
+@register("rsj", options=("page_records", "pool_pages"))
+def _rsj(points, epsilon, ids=None, *, page_records=16,
+         pool_pages=8) -> np.ndarray:
+    return _rtree_join(points, epsilon, ids, rsj_self_join,
+                       page_records, pool_pages)
+
+
+@register("zorder_rsj", options=("page_records", "pool_pages"))
+def _zorder_rsj(points, epsilon, ids=None, *, page_records=16,
+                pool_pages=8) -> np.ndarray:
+    return _rtree_join(points, epsilon, ids, zorder_rsj_self_join,
+                       page_records, pool_pages)
+
+
+@register("mux", options=("page_bytes", "bucket_records", "pool_pages"))
+def _mux(points, epsilon, ids=None, *, page_bytes=2048, bucket_records=4,
+         pool_pages=8) -> np.ndarray:
+    from ..index.mux import MultipageIndex
+
+    pts = np.asarray(points, dtype=np.float64)
+    if ids is None:
+        ids = np.arange(len(pts), dtype=np.int64)
+    with SimulatedDisk() as disk:
+        index = MultipageIndex.bulk_load(np.asarray(ids, dtype=np.int64),
+                                         pts, disk, page_bytes,
+                                         bucket_records)
+        report = mux_self_join(index, epsilon, pool_pages)
+    return canonical_pairs(report.result)
+
+
+# -- differential comparison ------------------------------------------------
+
+
+@dataclass
+class ImplOutcome:
+    """One implementation's result in a differential check."""
+
+    name: str
+    options: Dict[str, object]
+    diff: Optional[PairSetDiff] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.diff is not None and self.diff.ok
+
+    def describe(self) -> str:
+        label = self.name
+        if self.options:
+            opts = ",".join(f"{k}={v}" for k, v in
+                            sorted(self.options.items()))
+            label = f"{label}[{opts}]"
+        if self.error is not None:
+            return f"{label}: ERROR {self.error}"
+        return f"{label}: {self.diff.summary()}"
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of comparing implementations against a reference."""
+
+    reference: str
+    pair_count: int
+    outcomes: List[ImplOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> List[ImplOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def describe(self) -> str:
+        lines = [f"reference {self.reference}: {self.pair_count} pairs"]
+        lines += ["  " + o.describe() for o in self.outcomes]
+        return "\n".join(lines)
+
+
+def differential_check(points: np.ndarray, epsilon: float,
+                       configs: Sequence,
+                       ids: Optional[np.ndarray] = None,
+                       reference: str = "brute") -> DifferentialReport:
+    """Run implementations against a reference and report differences.
+
+    ``configs`` is a sequence of implementation names or ``(name,
+    options)`` tuples.  An implementation raising an exception is
+    reported as a failure rather than aborting the sweep.
+    """
+    expected = run_impl(reference, points, epsilon, ids=ids)
+    report = DifferentialReport(reference=reference,
+                                pair_count=len(expected))
+    for config in configs:
+        if isinstance(config, str):
+            name, options = config, {}
+        else:
+            name, options = config[0], dict(config[1])
+        outcome = ImplOutcome(name=name, options=options)
+        try:
+            observed = run_impl(name, points, epsilon, ids=ids, **options)
+            outcome.diff = diff_pairs(expected, observed)
+        except Exception as exc:  # noqa: BLE001 - fuzzing must survive
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        report.outcomes.append(outcome)
+    return report

@@ -1,0 +1,135 @@
+"""Seeded adversarial workloads for differential verification.
+
+The fuzz driver and the metamorphic tests both draw from these
+generators.  Each workload targets a failure mode the interval
+reasoning of the EGO join (Lemmata 2 and 3) is most fragile against:
+
+* ``boundary`` — pairs planted at distance ε·(1 ± 2⁻⁴⁰), straddling the
+  predicate boundary within one or two ulps, where an off-by-one in a
+  cell bound or a sloppy ``<`` vs ``≤`` flips membership;
+* ``duplicates`` — exact duplicates and dense micro-clusters, stressing
+  diagonal exclusion and tie-handling of the sort;
+* ``degenerate`` — constant dimensions and collinear points, the case
+  in which inactive-dimension pruning does the most work (and a broken
+  cell-distance test over-prunes most easily);
+* ``clusters`` — correlated Gaussian clusters: skewed ε-cell occupancy
+  and interval lengths far from the uniform case;
+* ``uniform`` — the baseline of the paper's experiments.
+
+All generators are pure functions of their seed; the same
+``(kind, n, dimensions, epsilon, seed)`` tuple always produces the same
+array, which is what makes fuzz artifacts replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..data.synthetic import gaussian_clusters, uniform
+
+#: Relative offset for boundary pairs: ε·(1 ± 2⁻⁴⁰) places the planted
+#: mate a few double-precision ulps on either side of the predicate.
+BOUNDARY_DELTA = 2.0 ** -40
+
+WORKLOAD_KINDS: Tuple[str, ...] = (
+    "uniform", "boundary", "duplicates", "degenerate", "clusters")
+
+
+@dataclass
+class Workload:
+    """One generated verification workload."""
+
+    kind: str
+    seed: int
+    epsilon: float
+    points: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    @property
+    def dimensions(self) -> int:
+        return self.points.shape[1]
+
+
+def _boundary(n: int, dimensions: int, epsilon: float,
+              rng: np.random.Generator) -> np.ndarray:
+    """Base points plus mates planted right at the ε boundary."""
+    n_base = max(1, n // 3)
+    base = rng.random((n_base, dimensions))
+    rows = [base]
+    produced = n_base
+    side = 1.0
+    while produced < n:
+        anchor = base[rng.integers(0, n_base)]
+        direction = rng.normal(size=dimensions)
+        norm = np.linalg.norm(direction)
+        if norm == 0.0:
+            continue
+        direction /= norm
+        # Alternate just-inside and just-outside mates.
+        radius = epsilon * (1.0 + side * BOUNDARY_DELTA)
+        side = -side
+        rows.append((anchor + radius * direction)[None, :])
+        produced += 1
+    return np.concatenate(rows)[:n]
+
+
+def _duplicates(n: int, dimensions: int, epsilon: float,
+                rng: np.random.Generator) -> np.ndarray:
+    """Exact duplicates and micro-clusters much tighter than ε."""
+    n_unique = max(1, n // 4)
+    base = rng.random((n_unique, dimensions))
+    assignment = rng.integers(0, n_unique, size=n)
+    jitter = rng.normal(0.0, epsilon * 1e-3, size=(n, dimensions))
+    # Half the copies are bit-exact duplicates, half are jittered.
+    exact = rng.random(n) < 0.5
+    jitter[exact] = 0.0
+    return base[assignment] + jitter
+
+
+def _degenerate(n: int, dimensions: int, epsilon: float,
+                rng: np.random.Generator) -> np.ndarray:
+    """Constant dimensions and a collinear subset."""
+    pts = rng.random((n, dimensions))
+    # Freeze a prefix of dimensions to constants: every sequence shares
+    # those cells, so inactive-dimension pruning decides everything.
+    frozen = max(1, dimensions // 2)
+    pts[:, :frozen] = rng.random(frozen)
+    # Lay a third of the points on one line through the cube.
+    n_line = n // 3
+    if n_line:
+        start = rng.random(dimensions)
+        direction = rng.normal(size=dimensions)
+        direction /= max(np.linalg.norm(direction), 1e-12)
+        t = np.sort(rng.random(n_line))
+        pts[:n_line] = start + t[:, None] * direction * 0.5
+    return pts
+
+
+def generate_workload(kind: str, n: int, dimensions: int, epsilon: float,
+                      seed: int) -> Workload:
+    """Generate one seeded workload of the named ``kind``."""
+    if kind not in WORKLOAD_KINDS:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; known: {WORKLOAD_KINDS}")
+    if n < 1 or dimensions < 1:
+        raise ValueError("n and dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    if kind == "uniform":
+        pts = uniform(n, dimensions, seed=rng)
+    elif kind == "boundary":
+        pts = _boundary(n, dimensions, epsilon, rng)
+    elif kind == "duplicates":
+        pts = _duplicates(n, dimensions, epsilon, rng)
+    elif kind == "degenerate":
+        pts = _degenerate(n, dimensions, epsilon, rng)
+    else:
+        pts = gaussian_clusters(n, dimensions, clusters=max(2, n // 40),
+                                std=epsilon / 2, seed=rng)
+    return Workload(kind=kind, seed=seed, epsilon=float(epsilon),
+                    points=np.asarray(pts, dtype=np.float64))

@@ -2,12 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.result import JoinResult
 from repro.storage.disk import SimulatedDisk
 from repro.storage.pagefile import PointFile
+
+# Hypothesis profiles: "ci" is fully deterministic (derandomised, no
+# wall-clock deadline — shared runners are slow and flaky-deadline
+# failures are pure noise); "dev" keeps the example budget small so the
+# property tests stay fast locally.  CI selects its profile via
+# HYPOTHESIS_PROFILE=ci; any CI environment falls back to it too.
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "dev", deadline=None, max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get(
+    "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"))
 
 
 @pytest.fixture

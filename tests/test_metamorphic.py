@@ -1,0 +1,166 @@
+"""Metamorphic-relation tests for the similarity join.
+
+Each relation predicts how the exact pair set responds to an input
+transformation — no reference implementation involved, so these can
+catch a bug every implementation shares.  The tests check that the
+relations (a) hold for the shipped implementations on adversarial
+seeded workloads and (b) actually flag planted violations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.verify import (
+    RELATION_NAMES,
+    REGISTRY,
+    check_epsilon_nesting,
+    check_permutation,
+    check_rs_symmetry,
+    check_self_vs_rr,
+    check_translation,
+    diff_pairs,
+    generate_workload,
+    register,
+    run_impl,
+    run_relations,
+)
+
+EPS = 0.25
+
+#: Implementations fast enough to sweep through every relation.
+RELATION_IMPLS = ("ego", "grid_hash", "spatial_hash", "epskdb", "msj")
+
+
+@pytest.fixture
+def temp_impl():
+    """Register a throwaway oracle implementation, always cleaned up."""
+    added = []
+
+    def add(name, fn, **kwargs):
+        register(name, **kwargs)(fn)
+        added.append(name)
+        return name
+
+    yield add
+    for name in added:
+        REGISTRY.pop(name, None)
+
+
+# -- relations hold on the shipped implementations ---------------------------
+
+
+class TestRelationsHold:
+    @pytest.mark.parametrize("impl", RELATION_IMPLS)
+    @pytest.mark.parametrize("kind", ["boundary", "duplicates",
+                                      "degenerate"])
+    def test_all_relations(self, impl, kind):
+        wl = generate_workload(kind, 60, 3, EPS, seed=9)
+        for report in run_relations(impl, wl.points, EPS, seed=9):
+            assert report.ok, report.describe()
+
+    def test_relation_names_all_run(self):
+        wl = generate_workload("uniform", 30, 2, EPS, seed=0)
+        reports = run_relations("ego", wl.points, EPS)
+        assert tuple(r.relation for r in reports) == RELATION_NAMES
+
+    def test_unknown_relation_rejected(self):
+        wl = generate_workload("uniform", 10, 2, EPS, seed=0)
+        with pytest.raises(ValueError, match="unknown relation"):
+            run_relations("ego", wl.points, EPS, relations=("nope",))
+
+    def test_translation_skipped_for_unit_cube_impl(self):
+        wl = generate_workload("uniform", 30, 2, EPS, seed=0)
+        report = check_translation("msj", wl.points, EPS)
+        assert report.ok
+        assert "skipped" in report.detail
+
+    def test_nesting_strict_on_boundary_workload(self):
+        """The planted ε·(1+2⁻⁴⁰) mates make the ε-nesting strict."""
+        wl = generate_workload("boundary", 60, 3, EPS, seed=3)
+        at_eps = {tuple(r) for r in run_impl("ego", wl.points, EPS)}
+        wide = {tuple(r) for r in
+                run_impl("ego", wl.points, EPS * (1 + 1e-6))}
+        assert at_eps < wide  # strict: just-outside mates join only above ε
+
+    def test_rs_symmetry_direct(self):
+        wl = generate_workload("clusters", 50, 3, EPS, seed=6)
+        report = check_rs_symmetry(wl.points[:25], wl.points[25:], EPS)
+        assert report.ok, report.describe()
+
+    def test_self_vs_rr_direct(self):
+        wl = generate_workload("duplicates", 50, 3, EPS, seed=6)
+        report = check_self_vs_rr("ego", wl.points, EPS)
+        assert report.ok, report.describe()
+
+
+# -- relations catch planted violations --------------------------------------
+
+
+class TestRelationsCatchViolations:
+    def test_translation_catches_grid_quantisation(self, temp_impl):
+        def quantised(points, epsilon, ids=None):
+            # Joins cell representatives instead of points: distances
+            # change whenever the grid shifts relative to the data.
+            q = np.floor(points / epsilon) * epsilon
+            return run_impl("brute", q, epsilon, ids=ids)
+
+        temp_impl("_test_quantised", quantised)
+        wl = generate_workload("uniform", 50, 3, EPS, seed=1)
+        report = check_translation("_test_quantised", wl.points, EPS)
+        assert not report.ok
+
+    def test_nesting_catches_epsilon_cap(self, temp_impl):
+        def capped(points, epsilon, ids=None):
+            # Shrinks large epsilons: pairs vanish as ε grows.
+            eff = epsilon if epsilon < 1.2 * EPS else 0.5 * epsilon
+            return run_impl("brute", points, eff, ids=ids)
+
+        temp_impl("_test_capped", capped)
+        wl = generate_workload("clusters", 50, 3, EPS, seed=2)
+        report = check_epsilon_nesting(
+            "_test_capped", wl.points, (0.5 * EPS, EPS, 1.5 * EPS))
+        assert not report.ok
+        assert "missing at" in report.detail
+
+    def test_permutation_catches_position_dependence(self, temp_impl):
+        def drops_first_row(points, epsilon, ids=None):
+            # Ignores the first *row* — which row that is depends on
+            # the input order, so shuffling changes the result.
+            if ids is None:
+                ids = np.arange(len(points), dtype=np.int64)
+            return run_impl("brute", points[1:], epsilon,
+                            ids=np.asarray(ids)[1:])
+
+        temp_impl("_test_posdep", drops_first_row)
+        wl = generate_workload("duplicates", 40, 3, EPS, seed=3)
+        report = check_permutation("_test_posdep", wl.points, EPS, seed=3)
+        assert not report.ok
+
+
+# -- property-based sweeps (seed-driven, deterministic under the profile) ----
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_property_ego_matches_brute(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 36))
+    d = int(rng.integers(1, 5))
+    eps = float(rng.uniform(0.05, 0.5))
+    pts = rng.random((n, d))
+    diff = diff_pairs(run_impl("brute", pts, eps),
+                      run_impl("ego", pts, eps))
+    assert diff.ok, f"seed={seed} n={n} d={d} ε={eps}: {diff.summary()}"
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       kind=st.sampled_from(["uniform", "boundary", "duplicates"]))
+def test_property_permutation_and_translation(seed, kind):
+    wl = generate_workload(kind, 24, 3, EPS, seed=seed)
+    perm = check_permutation("ego", wl.points, EPS, seed=seed)
+    assert perm.ok, f"seed={seed} {kind}: {perm.describe()}"
+    move = check_translation("ego", wl.points, EPS)
+    assert move.ok, f"seed={seed} {kind}: {move.describe()}"
