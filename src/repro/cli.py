@@ -32,6 +32,7 @@ from .analysis.reporting import format_table, robustness_summary
 from .apps.dbscan import dbscan
 from .apps.outliers import distance_based_outliers
 from .core.ego_join import ego_join_files, ego_self_join_file
+from .obs import MetricsRegistry, PhaseProfiler, Tracer
 from .data.loader import load_points, save_points
 from .data.synthetic import cad_like, gaussian_clusters, uniform
 from .storage.disk import SimulatedDisk
@@ -131,6 +132,31 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                      **kwargs)
 
 
+def _build_obs(args):
+    """Observability recorders requested by ``--trace/--metrics/--profile``.
+
+    Returns ``(tracer, registry, profiler)`` — each ``None`` when its
+    flag is absent, so the pipeline falls back to the null recorders.
+    """
+    tracer = Tracer() if getattr(args, "trace", None) else None
+    registry = MetricsRegistry() if getattr(args, "metrics", None) else None
+    profiler = PhaseProfiler() if getattr(args, "profile", False) else None
+    return tracer, registry, profiler
+
+
+def _dump_obs(args, tracer, registry, profiler) -> None:
+    """Write the requested observability outputs after a run."""
+    if tracer is not None:
+        tracer.dump(args.trace)
+        print(f"trace: {args.trace} ({len(tracer.events)} events)",
+              file=sys.stderr)
+    if registry is not None:
+        registry.dump(args.metrics)
+        print(f"metrics: {args.metrics}", file=sys.stderr)
+    if profiler is not None:
+        print(profiler.format_table(), file=sys.stderr)
+
+
 def cmd_join(args) -> int:
     """Handle ``repro join``."""
     try:
@@ -146,6 +172,7 @@ def cmd_join(args) -> int:
         # The scheduled crash already happened in the interrupted run.
         fault_plan = fault_plan.without_crashes()
     retry = RetryPolicy(max_attempts=args.retries) if args.retries else None
+    tracer, registry, profiler = _build_obs(args)
     with SimulatedDisk(path=args.file) as disk:
         pf = PointFile.open(disk)
         unit_bytes, buffer_units = _budget_geometry(
@@ -162,7 +189,9 @@ def cmd_join(args) -> int:
                                         retry=retry,
                                         checksums=args.checksums,
                                         checkpoint_dir=args.checkpoint,
-                                        resume=args.resume)
+                                        resume=args.resume,
+                                        trace=tracer, metrics=registry,
+                                        profiler=profiler)
         except SimulatedCrash as exc:
             print(f"crashed: {exc}", file=sys.stderr)
             if args.checkpoint:
@@ -175,6 +204,7 @@ def cmd_join(args) -> int:
             print("rerun with --retries N to mask transient corruption",
                   file=sys.stderr)
             return 1
+    _dump_obs(args, tracer, registry, profiler)
     pairs = report.total_pairs
     if pairs is None:
         pairs = report.result.count
@@ -197,6 +227,7 @@ def cmd_join(args) -> int:
 
 def cmd_join_two(args) -> int:
     """Handle ``repro join-two``."""
+    tracer, registry, profiler = _build_obs(args)
     with SimulatedDisk(path=args.file_r) as disk_r, \
             SimulatedDisk(path=args.file_s) as disk_s:
         fr = PointFile.open(disk_r)
@@ -208,7 +239,10 @@ def cmd_join_two(args) -> int:
                                 buffer_units=buffer_units,
                                 materialize=not args.count_only,
                                 engine=args.engine,
-                                metric=args.metric)
+                                metric=args.metric,
+                                trace=tracer, metrics=registry,
+                                profiler=profiler)
+    _dump_obs(args, tracer, registry, profiler)
     print(f"pairs: {report.result.count}", file=sys.stderr)
     if not args.count_only:
         _print_pairs(report.result, args.limit)
@@ -401,6 +435,14 @@ def build_parser() -> argparse.ArgumentParser:
     j.add_argument("--resume", action="store_true",
                    help="continue from the journal in --checkpoint "
                         "after an interrupted run")
+    j.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="write a Chrome trace_event JSON of the run "
+                        "(open in chrome://tracing or Perfetto)")
+    j.add_argument("--metrics", default=None, metavar="OUT",
+                   help="dump run metrics; .json extension selects JSON, "
+                        "anything else Prometheus text format")
+    j.add_argument("--profile", action="store_true",
+                   help="print a per-phase wall/CPU time table")
     j.set_defaults(func=cmd_join)
 
     j2 = sub.add_parser("join-two", help="external EGO R ⋈ S join")
@@ -415,6 +457,13 @@ def build_parser() -> argparse.ArgumentParser:
     j2.add_argument("--engine", default="auto",
                     choices=["auto", "vector", "matmul", "scalar"],
                     help="leaf distance kernel")
+    j2.add_argument("--trace", default=None, metavar="OUT.json",
+                    help="write a Chrome trace_event JSON of the run")
+    j2.add_argument("--metrics", default=None, metavar="OUT",
+                    help="dump run metrics (.json → JSON, else "
+                         "Prometheus text)")
+    j2.add_argument("--profile", action="store_true",
+                    help="print a per-phase wall/CPU time table")
     j2.set_defaults(func=cmd_join_two)
 
     d = sub.add_parser("dbscan", help="join-based DBSCAN clustering")

@@ -25,6 +25,9 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.metrics import ensure_metrics
+from ..obs.profile import ensure_profiler
+from ..obs.trace import ensure_tracer
 from ..sorting.external_sort import SortStats, external_sort
 from ..storage.disk import SimulatedDisk
 from ..storage.faults import FaultLog, FaultPlan
@@ -32,7 +35,7 @@ from ..storage.integrity import RetryPolicy, make_robust_disk
 from ..storage.journal import Journal
 from ..storage.pagefile import PointFile
 from ..storage.pairfile import PairFile, SpillingCollector
-from ..storage.stats import CPUCounters, IOCounters
+from ..storage.stats import CPUCounters, IOCounters, IOScope
 from .ego_order import (ego_sorted, ensure_finite, grid_cells,
                         validate_epsilon)
 from .preprocess import resolve_dimension_order
@@ -161,6 +164,37 @@ class ExternalJoinReport:
     total_pairs: Optional[int] = None
 
 
+def _record_io_metrics(registry, io: IOCounters,
+                       simulated_io_time_s: float) -> None:
+    """Publish end-of-run I/O gauges (a no-op on the null registry).
+
+    Every value is derived from the deterministic simulated disks, so —
+    like all metrics — the gauges are byte-identical across repeated
+    runs and across worker counts (the workers never touch a disk).
+    """
+    if not registry.enabled:
+        return
+    ops = registry.gauge("ego_io_operations",
+                         "End-of-run physical I/O operation counts",
+                         labelnames=("op",))
+    ops.labels("random_reads").set(io.random_reads)
+    ops.labels("sequential_reads").set(io.sequential_reads)
+    ops.labels("random_writes").set(io.random_writes)
+    ops.labels("sequential_writes").set(io.sequential_writes)
+    ops.labels("read_faults").set(io.read_faults)
+    ops.labels("read_retries").set(io.read_retries)
+    ops.labels("corrupt_pages").set(io.corrupt_pages)
+    registry.gauge("ego_io_bytes_read",
+                   "Bytes read across the run's disks",
+                   unit="bytes").set(io.bytes_read)
+    registry.gauge("ego_io_bytes_written",
+                   "Bytes written across the run's disks",
+                   unit="bytes").set(io.bytes_written)
+    registry.gauge("ego_simulated_io_seconds",
+                   "Simulated I/O seconds (cost-model clock, deterministic)",
+                   unit="s").set(simulated_io_time_s)
+
+
 def ego_key_function(epsilon: float):
     """Key function for the external sort: the ε-grid cell coordinates."""
     eps = validate_epsilon(epsilon)
@@ -193,7 +227,9 @@ def ego_join_files(file_r: PointFile, file_s: PointFile, epsilon: float,
                    order_dimensions: bool = True,
                    materialize: bool = True,
                    metric=None,
-                   invariants: bool = False) -> ExternalRSJoinReport:
+                   invariants: bool = False,
+                   trace=None, metrics=None,
+                   profiler=None) -> ExternalRSJoinReport:
     """External EGO join of two point files (R ⋈ S).
 
     Both files are externally sorted into epsilon grid order, then the
@@ -203,10 +239,16 @@ def ego_join_files(file_r: PointFile, file_s: PointFile, epsilon: float,
     ``(r_id, s_id)``; if the same physical file is passed for both
     sides, reflexive and mirrored pairs are included (two-set
     semantics, like :func:`ego_join`).
+
+    ``trace`` / ``metrics`` / ``profiler`` attach the observability
+    recorders of :mod:`repro.obs` (see :func:`ego_self_join_file`).
     """
     from .rs_scheduler import RSScheduleStats, TwoFileScheduler
 
     validate_epsilon(epsilon)
+    tracer = ensure_tracer(trace)
+    registry = ensure_metrics(metrics)
+    prof = ensure_profiler(profiler)
     if file_r.dimensions != file_s.dimensions:
         raise ValueError(
             f"dimension mismatch: {file_r.dimensions} vs "
@@ -219,45 +261,47 @@ def ego_join_files(file_r: PointFile, file_s: PointFile, epsilon: float,
     key = ego_key_function(epsilon)
     disks = [SimulatedDisk() for _ in range(3)]
     sorted_r_disk, sorted_s_disk, scratch = disks
+    root_span = tracer.span("external_rs_join", cat="pipeline")
+    root_span.__enter__()
     try:
-        time_before = (file_r.disk.simulated_time_s,
-                       file_s.disk.simulated_time_s)
-        io_before = (file_r.disk.counters.snapshot(),
-                     file_s.disk.counters.snapshot())
-        sorted_r, sort_r = external_sort(file_r, sorted_r_disk, scratch,
-                                         key, sort_memory_records)
-        sorted_s, sort_s = external_sort(file_s, sorted_s_disk, scratch,
-                                         key, sort_memory_records)
-        sort_io_time = (
-            (file_r.disk.simulated_time_s - time_before[0])
-            + (file_s.disk.simulated_time_s - time_before[1])
-            + sorted_r_disk.simulated_time_s
-            + sorted_s_disk.simulated_time_s
-            + scratch.simulated_time_s)
+        # Run-local scope: dedups a shared R/S disk, resets arm
+        # positions so repeated runs on the same disks account
+        # identically, and provides this run's I/O deltas.
+        scope = IOScope(file_r.disk, file_s.disk, sorted_r_disk,
+                        sorted_s_disk, scratch).begin()
+        with prof.phase("sort"), tracer.span("sort", cat="pipeline"):
+            sorted_r, sort_r = external_sort(file_r, sorted_r_disk, scratch,
+                                             key, sort_memory_records,
+                                             trace=tracer, metrics=registry)
+            sorted_s, sort_s = external_sort(file_s, sorted_s_disk, scratch,
+                                             key, sort_memory_records,
+                                             trace=tracer, metrics=registry)
+        sort_io_time = scope.time_delta()
 
         cpu = CPUCounters()
         result = JoinResult(materialize=materialize)
         ctx = JoinContext(epsilon=epsilon, result=result, minlen=minlen,
                           engine=engine, order_dimensions=order_dimensions,
-                          cpu=cpu, metric=metric, invariants=invariants)
+                          cpu=cpu, metric=metric, invariants=invariants,
+                          trace=tracer, metrics=registry)
         join_before = (sorted_r_disk.simulated_time_s
                        + sorted_s_disk.simulated_time_s)
         scheduler = TwoFileScheduler(sorted_r, sorted_s, ctx, unit_bytes,
                                      buffer_units)
-        schedule_stats = scheduler.run()
+        with prof.phase("schedule"), tracer.span("schedule", cat="pipeline"):
+            schedule_stats = scheduler.run()
         join_io_time = (sorted_r_disk.simulated_time_s
                         + sorted_s_disk.simulated_time_s) - join_before
 
-        io_total = ((file_r.disk.counters - io_before[0])
-                    + (file_s.disk.counters - io_before[1])
-                    + sorted_r_disk.counters + sorted_s_disk.counters
-                    + scratch.counters)
+        io_total = scope.io_delta()
+        _record_io_metrics(registry, io_total, sort_io_time + join_io_time)
         return ExternalRSJoinReport(
             result=result, sort_stats_r=sort_r, sort_stats_s=sort_s,
             schedule_stats=schedule_stats, cpu=cpu, io=io_total,
             simulated_io_time_s=sort_io_time + join_io_time,
             sort_io_time_s=sort_io_time, join_io_time_s=join_io_time)
     finally:
+        root_span.__exit__(None, None, None)
         for disk in disks:
             disk.close()
 
@@ -280,8 +324,9 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                        checkpoint_dir: Optional[str] = None,
                        resume: bool = False,
                        workers: int = 1,
-                       invariants: bool = False
-                       ) -> ExternalJoinReport:
+                       invariants: bool = False,
+                       trace=None, metrics=None,
+                       profiler=None) -> ExternalJoinReport:
     """External EGO self-join of a point file (the paper's full pipeline).
 
     Parameters
@@ -344,10 +389,27 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
         leaf checks in the recursion.  With ``workers > 1`` the
         recursion-level checks run only for pairs joined in-process;
         the schedule-level checks always run in the parent.
+    trace, metrics, profiler:
+        Observability recorders (:mod:`repro.obs`).  ``trace`` — a
+        :class:`~repro.obs.trace.Tracer` collecting the span hierarchy
+        (``external_self_join`` → ``sort``/``schedule`` → ``load`` /
+        ``unit_pair`` → ``sequence_join`` → ``leaf``) for Chrome
+        ``trace_event`` export.  ``metrics`` — a
+        :class:`~repro.obs.metrics.MetricsRegistry` of structural
+        counters (unit reads by mode, prunes by reason, buffer events,
+        …) whose dumps are byte-identical across runs and worker
+        counts; with ``workers > 1`` the worker deltas are merged in
+        schedule order.  ``profiler`` — a
+        :class:`~repro.obs.profile.PhaseProfiler` timing the ``sort``
+        and ``schedule`` phases.  All default to shared null recorders
+        that record nothing and allocate nothing.
     """
     validate_epsilon(epsilon)
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    tracer = ensure_tracer(trace)
+    registry = ensure_metrics(metrics)
+    prof = ensure_profiler(profiler)
     codec = input_file.codec
     if sort_memory_records is None:
         per_unit = max(1, unit_bytes // codec.record_bytes)
@@ -385,6 +447,8 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
     # when a later construction step throws; file-backed checkpoint
     # disks survive their close, anonymous ones are removed.
     own_disks = []
+    root_span = tracer.span("external_self_join", cat="pipeline")
+    root_span.__enter__()
     try:
         if sorted_disk is None and not assume_sorted:
             if checkpoint_dir is not None:
@@ -448,29 +512,25 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                 faults=fault_plan.injected if fault_plan else None,
                 resumed=True, result_path=result_path, total_pairs=total)
 
+        # Run-local I/O scope: snapshots counters and resets arm
+        # positions so back-to-back runs reusing the same input disk
+        # account identically (see IOScope).
         if assume_sorted:
             sorted_file = input_file
             sorted_disk_obj = input_disk
-            io_before = (input_disk.counters.snapshot(),)
+            io_scope = IOScope(input_disk).begin()
             sort_stats = SortStats()
             sort_io_time = 0.0
         else:
             sorted_disk_obj = sorted_io
-            io_before = (input_disk.counters.snapshot(),
-                         sorted_io.counters.snapshot(),
-                         scratch_io.counters.snapshot())
-            time_before = (input_disk.simulated_time_s,
-                           sorted_io.simulated_time_s,
-                           scratch_io.simulated_time_s)
+            io_scope = IOScope(input_disk, sorted_io, scratch_io).begin()
 
-            sorted_file, sort_stats = external_sort(
-                input_file, sorted_io, scratch_io,
-                ego_key_function(epsilon), sort_memory_records,
-                journal=journal)
-            sort_io_time = (
-                (input_disk.simulated_time_s - time_before[0])
-                + (sorted_io.simulated_time_s - time_before[1])
-                + (scratch_io.simulated_time_s - time_before[2]))
+            with prof.phase("sort"), tracer.span("sort", cat="pipeline"):
+                sorted_file, sort_stats = external_sort(
+                    input_file, sorted_io, scratch_io,
+                    ego_key_function(epsilon), sort_memory_records,
+                    journal=journal, trace=tracer, metrics=registry)
+            sort_io_time = io_scope.time_delta()
 
         cpu = CPUCounters()
         result = JoinResult(materialize=materialize, callback=collector)
@@ -478,7 +538,8 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                           engine=engine, order_dimensions=order_dimensions,
                           cpu=cpu, metric=metric,
                           grid_epsilon=grid_epsilon,
-                          invariants=invariants)
+                          invariants=invariants,
+                          trace=tracer, metrics=registry)
 
         pair_done = None
         pair_complete = None
@@ -504,7 +565,9 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                                      pair_done=pair_done,
                                      pair_complete=pair_complete,
                                      unit_joiner=unit_joiner)
-            schedule_stats = scheduler.run()
+            with prof.phase("schedule"), \
+                    tracer.span("schedule", cat="pipeline"):
+                schedule_stats = scheduler.run()
         finally:
             if unit_joiner is not None:
                 unit_joiner.close()
@@ -516,15 +579,10 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
             total_pairs = pair_file.count
             journal.mark_join_complete(total_pairs)
 
-        if assume_sorted:
-            io_total = input_disk.counters - io_before[0]
-        else:
-            io_total = (
-                (input_disk.counters - io_before[0])
-                + (sorted_io.counters - io_before[1])
-                + (scratch_io.counters - io_before[2]))
+        io_total = io_scope.io_delta()
         if pair_file is not None:
             io_total = io_total + pair_file.disk.counters
+        _record_io_metrics(registry, io_total, sort_io_time + join_io_time)
         return ExternalJoinReport(
             result=result,
             sort_stats=sort_stats,
@@ -540,5 +598,6 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
             total_pairs=total_pairs,
         )
     finally:
+        root_span.__exit__(None, None, None)
         for disk in reversed(own_disks):
             disk.close()

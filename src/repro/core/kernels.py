@@ -162,7 +162,8 @@ def pairs_within_matmul(a: np.ndarray, b: np.ndarray, eps_sq: float,
                         windows: Optional[Tuple[np.ndarray,
                                                 np.ndarray]] = None,
                         scratch: Optional[ScratchBuffers] = None,
-                        block: int = DEFAULT_BLOCK):
+                        block: int = DEFAULT_BLOCK,
+                        metrics=None):
     """All index pairs within Euclidean distance, computed with GEMM.
 
     Drop-in replacement for
@@ -174,6 +175,10 @@ def pairs_within_matmul(a: np.ndarray, b: np.ndarray, eps_sq: float,
     ``a`` row's candidates; ``order`` is accepted for interface parity
     (a dense kernel has no abort position, so the evaluation order is
     irrelevant).
+
+    ``metrics`` is an optional :class:`~repro.obs.metrics.MetricsRegistry`
+    counting GEMM tiles and exactly re-verified candidates; ``None``
+    (the default) keeps this module free of any observability work.
 
     Non-Euclidean metrics delegate to the difference-cube engine: the
     Gram identity is specific to L2.
@@ -204,6 +209,8 @@ def pairs_within_matmul(a: np.ndarray, b: np.ndarray, eps_sq: float,
 
     out_a, out_b, out_d = [], [], []
     candidates_evaluated = 0
+    gemm_tiles = 0
+    reverified = 0
     for i0 in range(0, na, block):
         i1 = min(i0 + block, na)
         # The union of this row block's windows: windows are contiguous
@@ -224,6 +231,7 @@ def pairs_within_matmul(a: np.ndarray, b: np.ndarray, eps_sq: float,
             j1 = min(j0 + block, j_end)
             b_blk = b[j0:j1]
             gram = scratch.gram_tile(i1 - i0, j1 - j0)
+            gemm_tiles += 1
             np.matmul(a_blk, b_blk.T, out=gram)
             d2 = (norms_a[i0:i1, None] + norms_b[None, j0:j1]
                   - 2.0 * gram)
@@ -261,6 +269,7 @@ def pairs_within_matmul(a: np.ndarray, b: np.ndarray, eps_sq: float,
             # the final decision (and the reported distance) comes from
             # exact differences of the candidate rows only.
             diffs = a_blk[ci] - b_blk[cj]
+            reverified += len(ci)
             exact = np.einsum("ij,ij->i", diffs, diffs)
             keep = exact <= eps_sq
             if not keep.any():
@@ -272,6 +281,14 @@ def pairs_within_matmul(a: np.ndarray, b: np.ndarray, eps_sq: float,
     if counters is not None:
         counters.distance_calculations += candidates_evaluated
         counters.dimension_evaluations += candidates_evaluated * a.shape[1]
+    if metrics is not None:
+        metrics.counter(
+            "ego_gemm_tiles_total",
+            "GEMM tiles evaluated by the matmul leaf kernel").inc(gemm_tiles)
+        metrics.counter(
+            "ego_gemm_reverified_total",
+            "Borderline GEMM accepts re-verified with exact differences",
+        ).inc(reverified)
     if out_a:
         ia = np.concatenate(out_a)
         ib = np.concatenate(out_b)

@@ -173,12 +173,14 @@ _UNIT_STATE: dict = {}
 def _init_unit_worker(epsilon: float, minlen: int, engine: str,
                       order_dimensions: bool, metric,
                       grid_epsilon: float, collect_distances: bool,
-                      split_strategy: str) -> None:
+                      split_strategy: str,
+                      collect_metrics: bool = False) -> None:
     _UNIT_STATE.update(epsilon=epsilon, minlen=minlen, engine=engine,
                        order_dimensions=order_dimensions, metric=metric,
                        grid_epsilon=grid_epsilon,
                        collect_distances=collect_distances,
-                       split_strategy=split_strategy)
+                       split_strategy=split_strategy,
+                       collect_metrics=collect_metrics)
 
 
 def _run_unit_pair(ids_a: np.ndarray, pts_a: np.ndarray,
@@ -188,10 +190,15 @@ def _run_unit_pair(ids_a: np.ndarray, pts_a: np.ndarray,
 
     ``ids_b is None`` marks the self-join of one unit with itself.
     Returns the pair batch (in the deterministic recursion order of the
-    serial join), optional distances, and this task's CPU-counter
-    deltas for the parent to merge.
+    serial join), optional distances, this task's CPU-counter deltas,
+    and — when the parent collects metrics — a metrics snapshot, all
+    for the parent to merge in submission order.
     """
     cpu = CPUCounters()
+    metrics = None
+    if _UNIT_STATE.get("collect_metrics"):
+        from ..obs.metrics import MetricsRegistry
+        metrics = MetricsRegistry()
     result = JoinResult(materialize=True,
                         collect_distances=_UNIT_STATE["collect_distances"])
     ctx = JoinContext(epsilon=_UNIT_STATE["epsilon"], result=result,
@@ -200,7 +207,8 @@ def _run_unit_pair(ids_a: np.ndarray, pts_a: np.ndarray,
                       order_dimensions=_UNIT_STATE["order_dimensions"],
                       cpu=cpu, metric=_UNIT_STATE["metric"],
                       grid_epsilon=_UNIT_STATE["grid_epsilon"],
-                      split_strategy=_UNIT_STATE["split_strategy"])
+                      split_strategy=_UNIT_STATE["split_strategy"],
+                      metrics=metrics)
     if ids_b is None:
         join_point_blocks(ids_a, pts_a, ids_a, pts_a, ctx,
                           same_block=True)
@@ -208,7 +216,8 @@ def _run_unit_pair(ids_a: np.ndarray, pts_a: np.ndarray,
         join_point_blocks(ids_a, pts_a, ids_b, pts_b, ctx)
     out_a, out_b = result.pairs()
     dists = result.distances() if result.collect_distances else None
-    return out_a, out_b, dists, cpu
+    metrics_data = metrics.collect() if metrics is not None else None
+    return out_a, out_b, dists, cpu, metrics_data
 
 
 class SerialUnitJoiner:
@@ -264,7 +273,8 @@ class ParallelUnitJoiner:
             max_workers=workers, initializer=_init_unit_worker,
             initargs=(ctx.epsilon, ctx.minlen, ctx.engine,
                       ctx.order_dimensions, metric, ctx.grid_epsilon,
-                      ctx.result.collect_distances, ctx.split_strategy))
+                      ctx.result.collect_distances, ctx.split_strategy,
+                      bool(ctx.metrics.enabled)))
         self._next_submit = 0
         self._next_emit = 0
         self._pending: Dict[int, Tuple[Future,
@@ -290,7 +300,7 @@ class ParallelUnitJoiner:
             fut, on_complete = self._pending[self._next_emit]
             if not (block or fut.done()):
                 break
-            ids_a, ids_b, dists, cpu = fut.result()
+            ids_a, ids_b, dists, cpu, metrics_data = fut.result()
             del self._pending[self._next_emit]
             self._next_emit += 1
             if self.ctx.cpu is not None:
@@ -298,6 +308,12 @@ class ParallelUnitJoiner:
                     setattr(self.ctx.cpu, f.name,
                             getattr(self.ctx.cpu, f.name)
                             + getattr(cpu, f.name))
+            # Worker metric deltas fold in submission order, the same
+            # order the serial joiner records them inline — counters and
+            # histograms are additive, so the merged registry is
+            # identical whichever workers computed the deltas.
+            if metrics_data:
+                self.ctx.metrics.merge(metrics_data)
             self.ctx.result.add_batch(ids_a, ids_b, distances=dists)
             if on_complete is not None:
                 on_complete()

@@ -29,6 +29,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..obs.metrics import ensure_metrics
+from ..obs.trace import ensure_tracer
 from ..storage.buffer import BufferPool
 from ..storage.pagefile import PointFile
 from .ego_order import grid_cells, lex_less
@@ -106,6 +108,26 @@ class TwoFileScheduler:
         self.n_s = len(self.units_s)
         self.meta_r: List[UnitMeta] = []
         self.meta_s: List[UnitMeta] = []
+        metrics = ensure_metrics(getattr(ctx, "metrics", None))
+        self._tracer = ensure_tracer(getattr(ctx, "trace", None))
+        reads = metrics.counter(
+            "ego_rs_unit_reads_total",
+            "Physical unit reads of the two-file schedule, by side",
+            labelnames=("side",))
+        self._m_read_r = reads.labels("r")
+        self._m_read_s = reads.labels("s")
+        self._m_meta_reads = metrics.counter(
+            "ego_rs_meta_reads_total",
+            "Boundary-record reads of the S/R metadata pass")
+        self._m_block_phases = metrics.counter(
+            "ego_rs_block_phases_total",
+            "Outer-loop (block mode) phases of the two-file schedule")
+        pairs = metrics.counter(
+            "ego_rs_unit_pairs_total",
+            "Unit pairs considered by the two-file schedule, by outcome",
+            labelnames=("outcome",))
+        self._m_pair_joined = pairs.labels("joined")
+        self._m_pair_skipped = pairs.labels("skipped")
         self._pool_r: BufferPool[int, UnitData] = BufferPool(
             1, self._load_r)
         self._pool_s: BufferPool[int, UnitData] = BufferPool(
@@ -115,13 +137,21 @@ class TwoFileScheduler:
 
     def _load_r(self, ordinal: int) -> UnitData:
         self.stats.r_loads += 1
-        return self.file_r.read_unit(int(self.units_r[ordinal]),
-                                     self.unit_bytes)
+        self._m_read_r.inc()
+        span_args = ({"side": "r", "unit": ordinal}
+                     if self._tracer.enabled else None)
+        with self._tracer.span("load", cat="io", args=span_args):
+            return self.file_r.read_unit(int(self.units_r[ordinal]),
+                                         self.unit_bytes)
 
     def _load_s(self, ordinal: int) -> UnitData:
         self.stats.s_loads += 1
-        return self.file_s.read_unit(int(self.units_s[ordinal]),
-                                     self.unit_bytes)
+        self._m_read_s.inc()
+        span_args = ({"side": "s", "unit": ordinal}
+                     if self._tracer.enabled else None)
+        with self._tracer.span("load", cat="io", args=span_args):
+            return self.file_s.read_unit(int(self.units_s[ordinal]),
+                                         self.unit_bytes)
 
     def _collect_meta(self, point_file: PointFile,
                       unit_ids: np.ndarray) -> List[UnitMeta]:
@@ -133,6 +163,7 @@ class TwoFileScheduler:
             _i, first_pt = point_file.read_range(first, 1)
             _i, last_pt = point_file.read_range(last - 1, 1)
             self.stats.meta_reads += 2
+            self._m_meta_reads.inc(2)
             metas.append(UnitMeta(first_cells=grid_cells(first_pt[0], eps),
                                   last_cells=grid_cells(last_pt[0], eps)))
         return metas
@@ -162,15 +193,20 @@ class TwoFileScheduler:
         if lex_less(mr.last_plus_eps_cells, ms.first_cells) or \
                 lex_less(ms.last_plus_eps_cells, mr.first_cells):
             self.stats.unit_pairs_skipped += 1
+            self._m_pair_skipped.inc()
             return
         ids_r, pts_r = self._pool_r.get(r_unit)
         ids_s, pts_s = self._pool_s.get(s_unit)
         if len(ids_r) == 0 or len(ids_s) == 0:
             return
         self.stats.unit_pairs_joined += 1
-        join_sequences(Sequence(ids_r, pts_r, self.ctx.grid_epsilon),
-                       Sequence(ids_s, pts_s, self.ctx.grid_epsilon),
-                       self.ctx)
+        self._m_pair_joined.inc()
+        span_args = ({"r": r_unit, "s": s_unit}
+                     if self._tracer.enabled else None)
+        with self._tracer.span("unit_pair", args=span_args):
+            join_sequences(Sequence(ids_r, pts_r, self.ctx.grid_epsilon),
+                           Sequence(ids_s, pts_s, self.ctx.grid_epsilon),
+                           self.ctx)
 
     # -- the schedule ---------------------------------------------------------
 
@@ -194,6 +230,7 @@ class TwoFileScheduler:
             # Block mode: pin a group of R units in all frames but one
             # and stream their combined S window through that frame.
             self.stats.block_phases += 1
+            self._m_block_phases.inc()
             group_size = max(1, self.buffer_units - 1)
             group_hi = min(self.n_r - 1, i + group_size - 1)
             g_lo, g_hi = self._window_of(i, group_hi)

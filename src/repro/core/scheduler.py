@@ -36,6 +36,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import ensure_metrics
+from ..obs.trace import ensure_tracer
 from ..storage.buffer import BufferPool
 from ..storage.pagefile import PointFile
 from .ego_order import grid_cells, lex_less
@@ -75,6 +77,29 @@ class ScheduleStats:
     def total_unit_loads(self) -> int:
         """Physical unit loads issued by the schedule (buffer hits excluded)."""
         return self.gallop_loads + self.crabstep_pins + self.crabstep_reloads
+
+
+class _BufferObs:
+    """Counter-handle bundle mirroring buffer-pool events into metrics.
+
+    Matches the ``metrics`` protocol of
+    :class:`~repro.storage.buffer.BufferPool` (attribute per event, each
+    with ``inc()``), so the storage layer stays free of observability
+    imports.
+    """
+
+    __slots__ = ("hits", "misses", "evictions", "pins", "unpins")
+
+    def __init__(self, metrics) -> None:
+        events = metrics.counter(
+            "ego_buffer_events_total",
+            "Buffer pool events in the scheduler's unit pool",
+            labelnames=("event",))
+        self.hits = events.labels("hit")
+        self.misses = events.labels("miss")
+        self.evictions = events.labels("evict")
+        self.pins = events.labels("pin")
+        self.unpins = events.labels("unpin")
 
 
 class EGOScheduler:
@@ -146,10 +171,45 @@ class EGOScheduler:
         # hooks only engage on the sound schedule.
         self.monitor = getattr(ctx, "monitor", None) \
             if allow_crabstep else None
+        # Pre-resolved metric handles: one attribute lookup + method call
+        # per event in the schedule loop (no-ops on the null registry).
+        metrics = ensure_metrics(getattr(ctx, "metrics", None))
+        self._tracer = ensure_tracer(getattr(ctx, "trace", None))
+        reads = metrics.counter(
+            "ego_unit_reads_total",
+            "Physical unit reads issued by the schedule, by mode",
+            labelnames=("mode",))
+        self._m_read_gallop = reads.labels("gallop")
+        self._m_read_pin = reads.labels("crabstep_pin")
+        self._m_read_reload = reads.labels("crabstep_reload")
+        pairs = metrics.counter(
+            "ego_unit_pairs_total",
+            "Unit pairs considered by the schedule, by outcome",
+            labelnames=("outcome",))
+        self._m_pair_joined = pairs.labels("joined")
+        self._m_pair_skipped = pairs.labels("skipped")
+        self._m_pair_resumed = pairs.labels("resumed")
+        transitions = metrics.counter(
+            "ego_mode_transitions_total",
+            "Schedule mode switches (the run starts in gallop mode)",
+            labelnames=("to",))
+        self._m_to_crabstep = transitions.labels("crabstep")
+        self._m_to_gallop = transitions.labels("gallop")
+        self._m_crabstep_phases = metrics.counter(
+            "ego_crabstep_phases_total",
+            "Crabstep windows executed (Figure 4, marks 3-4)")
+        self._m_interval_discards = metrics.counter(
+            "ego_interval_discards_total",
+            "Resident units dropped after their eps-interval passed")
+        self._m_shrinks = metrics.counter(
+            "ego_pressure_shrinks_total",
+            "Buffer shrinks forced by storage pressure")
+        self._mode = "gallop"
         self.pool: BufferPool[int, UnitData] = BufferPool(
             buffer_units, self._load_unit,
             observer=(self.monitor.buffer_observer()
-                      if self.monitor is not None else None))
+                      if self.monitor is not None else None),
+            metrics=_BufferObs(metrics) if metrics.enabled else None)
         # Only units in which at least one record starts take part in
         # the schedule: fragmentation can leave units holding nothing
         # but fragments (always the trailing unit; with units smaller
@@ -168,8 +228,11 @@ class EGOScheduler:
     def _load_unit(self, ordinal: int) -> UnitData:
         if self.trace is not None:
             self.trace.append(("load", ordinal, ordinal))
-        ids, points = self.point_file.read_unit(
-            int(self.unit_ids[ordinal]), self.unit_bytes)
+        span_args = ({"unit": ordinal, "mode": self._mode}
+                     if self._tracer.enabled else None)
+        with self._tracer.span("load", cat="io", args=span_args):
+            ids, points = self.point_file.read_unit(
+                int(self.unit_ids[ordinal]), self.unit_bytes)
         if ordinal not in self.meta and len(points):
             cells = grid_cells(points[[0, -1]], self.ctx.grid_epsilon)
             self.meta[ordinal] = UnitMeta(first_cells=cells[0],
@@ -206,6 +269,7 @@ class EGOScheduler:
             # Completed (and made durable) before a crash; skip the work
             # but keep the schedule otherwise identical.
             self.stats.pairs_resumed += 1
+            self._m_pair_resumed.inc()
             if self.monitor is not None:
                 self.monitor.note_unit_pair(a, b)
             if self.trace is not None:
@@ -213,24 +277,33 @@ class EGOScheduler:
             return
         if a != b and not self._units_may_join(a, b):
             self.stats.unit_pairs_skipped += 1
+            self._m_pair_skipped.inc()
             if self.trace is not None:
                 self.trace.append(("skip", min(a, b), max(a, b)))
             return
         if self.trace is not None:
             self.trace.append(("join", min(a, b), max(a, b)))
         self.stats.unit_pairs_joined += 1
+        self._m_pair_joined.inc()
         if self.monitor is not None:
             self.monitor.note_unit_pair(a, b)
         on_complete = None
         if self.pair_complete is not None:
             on_complete = partial(self.pair_complete, a, b)
         ids_a, pts_a = self.pool.peek(a).value
-        if a == b:
-            self.unit_joiner.submit(ids_a, pts_a, None, None, on_complete)
-        else:
-            ids_b, pts_b = self.pool.peek(b).value
-            self.unit_joiner.submit(ids_a, pts_a, ids_b, pts_b,
-                                    on_complete)
+        span_args = ({"a": min(a, b), "b": max(a, b)}
+                     if self._tracer.enabled else None)
+        # With a parallel joiner the span covers submission and any
+        # in-order result merging submit() performs; the compute itself
+        # happens in worker processes, which do not trace.
+        with self._tracer.span("unit_pair", args=span_args):
+            if a == b:
+                self.unit_joiner.submit(ids_a, pts_a, None, None,
+                                        on_complete)
+            else:
+                ids_b, pts_b = self.pool.peek(b).value
+                self.unit_joiner.submit(ids_a, pts_a, ids_b, pts_b,
+                                        on_complete)
 
     # -- the schedule ---------------------------------------------------------
 
@@ -241,6 +314,7 @@ class EGOScheduler:
         base_capacity = self.pool.capacity
         self.pool.get(0)
         self.stats.gallop_loads += 1
+        self._m_read_gallop.inc()
         if self.monitor is not None:
             self.monitor.note_gallop_load(0)
         self._join_units(0, 0)
@@ -299,6 +373,7 @@ class EGOScheduler:
             if target < self.pool.capacity:
                 self.pool.set_capacity(target)
                 self.stats.pressure_shrinks += 1
+                self._m_shrinks.inc()
         elif not under_pressure and self.pool.capacity < base_capacity:
             self.pool.set_capacity(self.pool.capacity + 1)
 
@@ -308,6 +383,7 @@ class EGOScheduler:
             if key != frontier and not self._needed(key, frontier):
                 self.pool.discard(key)
                 self.stats.evictions += 1
+                self._m_interval_discards.inc()
 
     def _gallop_step(self, i: int) -> int:
         """Figure 4, mark 2: load the next unit and join it with the buffer.
@@ -317,9 +393,13 @@ class EGOScheduler:
         evicted partners are then reloaded one by one.
         """
         if self.allow_crabstep:
+            if self._mode != "gallop":
+                self._mode = "gallop"
+                self._m_to_gallop.inc()
             partners = list(self.pool.resident_keys)
             self.pool.get(i)
             self.stats.gallop_loads += 1
+            self._m_read_gallop.inc()
             if self.monitor is not None:
                 self.monitor.note_gallop_load(i)
             for b in partners:
@@ -336,7 +416,9 @@ class EGOScheduler:
             self._join_units(b, i)
         self._join_units(i, i)
         self.pool.unpin(i)
-        self.stats.gallop_loads += self.pool.stats.misses - misses_before
+        loads = self.pool.stats.misses - misses_before
+        self.stats.gallop_loads += loads
+        self._m_read_gallop.inc(loads)
         return i + 1
 
     def _interval_low(self, unit: int) -> int:
@@ -359,6 +441,10 @@ class EGOScheduler:
     def _crabstep(self, i: int) -> int:
         """Figure 4, marks 3–4: outer-loop buffering over a pinned window."""
         self.stats.crabstep_phases += 1
+        self._m_crabstep_phases.inc()
+        if self._mode != "crabstep":
+            self._mode = "crabstep"
+            self._m_to_crabstep.inc()
         window_start = i
         # Phase 1: discard the stale frames and fill all but one frame
         # with new, pinned units, joining them among each other.
@@ -368,6 +454,7 @@ class EGOScheduler:
         while len(window) < self.pool.capacity - 1 and i < self.num_units:
             self.pool.get(i, pin=True)
             self.stats.crabstep_pins += 1
+            self._m_read_pin.inc()
             for b in window:
                 self._join_units(b, i)
             self._join_units(i, i)
@@ -380,6 +467,7 @@ class EGOScheduler:
         for j in range(reload_low, window_start):
             self.pool.get(j)
             self.stats.crabstep_reloads += 1
+            self._m_read_reload.inc()
             for b in window:
                 self._join_units(j, b)
         self.pool.unpin_all()

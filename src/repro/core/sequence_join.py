@@ -20,6 +20,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.metrics import ensure_metrics
+from ..obs.trace import ensure_tracer
 from ..storage.stats import CPUCounters
 from .distance import (dimension_ordering, natural_ordering,
                        pairs_within_scalar, pairs_within_vector)
@@ -80,6 +82,8 @@ class JoinContext:
     split_strategy: str = "half"
     invariants: bool = False
     monitor: Optional[object] = None
+    trace: Optional[object] = None
+    metrics: Optional[object] = None
     eps_sq: float = field(init=False)
     threshold: float = field(init=False)
 
@@ -114,6 +118,9 @@ class JoinContext:
             # so a module-level import here would be circular.
             from ..verify.invariants import make_monitor
             self.monitor = make_monitor(True)
+        self.trace = ensure_tracer(self.trace)
+        self.metrics = ensure_metrics(self.metrics)
+        self.obs = _SequenceObs(self.metrics)
         self._scratch = None
 
     @property
@@ -127,6 +134,50 @@ class JoinContext:
         if self._scratch is None:
             self._scratch = ScratchBuffers()
         return self._scratch
+
+
+class _SequenceObs:
+    """Pre-resolved metric handles for the sequence-join hot path.
+
+    Resolving the counter children once per run keeps the per-event cost
+    at one attribute lookup plus one method call — a no-op on the shared
+    null instruments when observability is off.
+    """
+
+    __slots__ = ("enabled", "seq_pairs", "prune_interval", "prune_inactive",
+                 "prune_dim", "leaf_joins", "leaf_pairs", "window_rows",
+                 "leaf_volume")
+
+    def __init__(self, metrics) -> None:
+        self.enabled = metrics.enabled
+        prunes = metrics.counter(
+            "ego_seq_prunes_total",
+            "Sequence pairs pruned, by Section 3.3 rule",
+            labelnames=("reason",))
+        self.prune_interval = prunes.labels("interval_disjoint")
+        self.prune_inactive = prunes.labels("inactive_dim")
+        self.prune_dim = metrics.counter(
+            "ego_seq_prune_dim_total",
+            "Inactive-dimension prunes, by first excluding dimension",
+            labelnames=("dim",))
+        self.seq_pairs = metrics.counter(
+            "ego_seq_pairs_total",
+            "Sequence pairs visited by the Figure 6 recursion")
+        self.leaf_joins = metrics.counter(
+            "ego_leaf_joins_total",
+            "Leaf kernel invocations, by resolved engine",
+            labelnames=("engine",))
+        self.leaf_pairs = metrics.counter(
+            "ego_leaf_pairs_total",
+            "Result pairs emitted by leaf kernels")
+        self.window_rows = metrics.histogram(
+            "ego_candidate_window_rows",
+            "Candidate-window heights from EGO-sorted windowing",
+            unit="rows")
+        self.leaf_volume = metrics.histogram(
+            "ego_leaf_volume",
+            "Leaf volumes |s|*|t| handed to the distance kernels",
+            unit="pairs")
 
 
 def _excluded(s: Sequence, t: Sequence, ctx: JoinContext) -> bool:
@@ -144,15 +195,20 @@ def _excluded(s: Sequence, t: Sequence, ctx: JoinContext) -> bool:
     2. The inactive-dimension rule of Section 3.3: a common inactive
        dimension with cell distance ≥ 2 excludes the pair.
     """
-    if lex_less(s.last_cells + 1, t.first_cells):
-        return True
-    if lex_less(t.last_cells + 1, s.first_cells):
+    if (lex_less(s.last_cells + 1, t.first_cells)
+            or lex_less(t.last_cells + 1, s.first_cells)):
+        ctx.obs.prune_interval.inc()
         return True
     common = min(s.inactive_count(), t.inactive_count())
     if common == 0:
         return False
     gap = np.abs(s.first_cells[:common] - t.first_cells[:common])
-    return bool((gap >= ctx.exclusion_distance).any())
+    hit = gap >= ctx.exclusion_distance
+    if hit.any():
+        ctx.obs.prune_inactive.inc()
+        ctx.obs.prune_dim.labels(int(np.argmax(hit))).inc()
+        return True
+    return False
 
 
 def simple_join(s: Sequence, t: Sequence, ctx: JoinContext,
@@ -168,10 +224,14 @@ def simple_join(s: Sequence, t: Sequence, ctx: JoinContext,
         order = natural_ordering(s.dimensions)
     engine = select_engine(ctx.engine, len(s), len(t), s.dimensions,
                            ctx.engine_metric)
+    ctx.obs.leaf_joins.labels(engine).inc()
+    ctx.obs.leaf_volume.observe(len(s) * len(t))
     extra = {}
     if engine == "matmul":
         finder = pairs_within_matmul
         extra["scratch"] = ctx.scratch
+        if ctx.metrics.enabled:
+            extra["metrics"] = ctx.metrics
         # EGO-sorted candidate windowing: within the leaf slice ``t``
         # every dimension before its active one is cell-constant, so
         # the active dimension's cells are non-decreasing and bound
@@ -180,29 +240,38 @@ def simple_join(s: Sequence, t: Sequence, ctx: JoinContext,
         if wdim is not None:
             extra["windows"] = candidate_windows(
                 s.points, t.points, wdim, t.epsilon)
+            if ctx.obs.enabled:
+                lo, hi = extra["windows"]
+                ctx.obs.window_rows.observe_many(
+                    (hi - lo).astype(int).tolist())
     elif engine == "vector":
         finder = pairs_within_vector
     else:
         finder = pairs_within_scalar
-    if ctx.result.collect_distances:
-        ia, ib, combined = finder(s.points, t.points, ctx.threshold,
-                                  order, counters=ctx.cpu,
-                                  upper_triangle=upper_triangle,
-                                  return_sq_distances=True,
-                                  metric=ctx.engine_metric, **extra)
-        if ctx.monitor is not None:
-            ctx.monitor.check_leaf(s, t, ia, ib, ctx, upper_triangle)
-        if len(ia):
-            ctx.result.add_batch(s.ids[ia], t.ids[ib],
-                                 distances=ctx.metric.finalize(combined))
-    else:
-        ia, ib = finder(s.points, t.points, ctx.threshold, order,
-                        counters=ctx.cpu, upper_triangle=upper_triangle,
-                        metric=ctx.engine_metric, **extra)
-        if ctx.monitor is not None:
-            ctx.monitor.check_leaf(s, t, ia, ib, ctx, upper_triangle)
-        if len(ia):
-            ctx.result.add_batch(s.ids[ia], t.ids[ib])
+    span_args = ({"engine": engine, "ns": len(s), "nt": len(t)}
+                 if ctx.trace.enabled else None)
+    with ctx.trace.span("leaf", cat="kernel", args=span_args):
+        if ctx.result.collect_distances:
+            ia, ib, combined = finder(s.points, t.points, ctx.threshold,
+                                      order, counters=ctx.cpu,
+                                      upper_triangle=upper_triangle,
+                                      return_sq_distances=True,
+                                      metric=ctx.engine_metric, **extra)
+            if ctx.monitor is not None:
+                ctx.monitor.check_leaf(s, t, ia, ib, ctx, upper_triangle)
+            ctx.obs.leaf_pairs.inc(len(ia))
+            if len(ia):
+                ctx.result.add_batch(s.ids[ia], t.ids[ib],
+                                     distances=ctx.metric.finalize(combined))
+        else:
+            ia, ib = finder(s.points, t.points, ctx.threshold, order,
+                            counters=ctx.cpu, upper_triangle=upper_triangle,
+                            metric=ctx.engine_metric, **extra)
+            if ctx.monitor is not None:
+                ctx.monitor.check_leaf(s, t, ia, ib, ctx, upper_triangle)
+            ctx.obs.leaf_pairs.inc(len(ia))
+            if len(ia):
+                ctx.result.add_batch(s.ids[ia], t.ids[ib])
 
 
 def _split(seq: Sequence, ctx: JoinContext):
@@ -230,6 +299,7 @@ def join_sequences(s: Sequence, t: Sequence, ctx: JoinContext) -> None:
     """
     if ctx.cpu is not None:
         ctx.cpu.sequence_pairs += 1
+    ctx.obs.seq_pairs.inc()
     if _excluded(s, t, ctx):
         if ctx.cpu is not None:
             ctx.cpu.sequence_exclusions += 1
@@ -281,9 +351,12 @@ def join_point_blocks(ids_a: np.ndarray, points_a: np.ndarray,
     """
     if len(ids_a) == 0 or len(ids_b) == 0:
         return
-    seq_a = Sequence(ids_a, points_a, ctx.grid_epsilon)
-    if same_block:
-        join_sequences(seq_a, seq_a, ctx)
-    else:
-        seq_b = Sequence(ids_b, points_b, ctx.grid_epsilon)
-        join_sequences(seq_a, seq_b, ctx)
+    span_args = ({"na": len(ids_a), "nb": len(ids_b), "self": same_block}
+                 if ctx.trace.enabled else None)
+    with ctx.trace.span("sequence_join", args=span_args):
+        seq_a = Sequence(ids_a, points_a, ctx.grid_epsilon)
+        if same_block:
+            join_sequences(seq_a, seq_a, ctx)
+        else:
+            seq_b = Sequence(ids_b, points_b, ctx.grid_epsilon)
+            join_sequences(seq_a, seq_b, ctx)

@@ -1,0 +1,188 @@
+"""Opt-in profiling hooks: per-phase wall/CPU time and cProfile capture.
+
+Tracing (:mod:`.trace`) answers *when* things happened; metrics
+(:mod:`.metrics`) answer *how many*; this module answers *where the
+process time went*.  A :class:`PhaseProfiler` accumulates wall-clock
+(``perf_counter``) and CPU (``process_time``) seconds per named phase —
+``sort`` and ``schedule`` for the external pipeline — and can optionally
+run each phase under :mod:`cProfile`, keeping the capture of the phase
+that used the most CPU for a hotspot report.
+
+Profiling numbers are inherently nondeterministic, so they never enter
+the metrics registry (whose exports must be byte-identical across runs);
+the profiler has its own report.
+
+The **null profiler** (:data:`NULL_PROFILER`) makes every hook a no-op
+on a shared singleton, mirroring the null tracer and null metrics.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["PhaseProfiler", "PhaseTimes", "NullProfiler", "NULL_PROFILER",
+           "ensure_profiler"]
+
+
+class PhaseTimes:
+    """Accumulated timings of one named phase."""
+
+    __slots__ = ("name", "wall_s", "cpu_s", "calls")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.calls = 0
+
+
+class _PhaseContext:
+    """Context manager timing one phase entry (with optional cProfile)."""
+
+    __slots__ = ("profiler", "times", "wall0", "cpu0", "capture")
+
+    def __init__(self, profiler: "PhaseProfiler", times: PhaseTimes) -> None:
+        self.profiler = profiler
+        self.times = times
+        self.capture: Optional[cProfile.Profile] = None
+
+    def __enter__(self) -> "_PhaseContext":
+        if self.profiler.capture_hotspot:
+            self.capture = cProfile.Profile()
+            self.capture.enable()
+        self.wall0 = time.perf_counter()
+        self.cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        wall = time.perf_counter() - self.wall0
+        cpu = time.process_time() - self.cpu0
+        if self.capture is not None:
+            self.capture.disable()
+        t = self.times
+        t.wall_s += wall
+        t.cpu_s += cpu
+        t.calls += 1
+        self.profiler._phase_done(t, cpu, self.capture)
+
+
+class PhaseProfiler:
+    """Per-phase wall/CPU accounting with optional hotspot capture.
+
+    Parameters
+    ----------
+    capture_hotspot:
+        Run each phase under :mod:`cProfile` and keep the capture of the
+        phase entry that burned the most CPU seconds.  Adds real
+        overhead; leave off unless hunting a hotspot.
+    """
+
+    enabled = True
+
+    def __init__(self, capture_hotspot: bool = False) -> None:
+        self.capture_hotspot = capture_hotspot
+        self.phases: Dict[str, PhaseTimes] = {}
+        self._order: List[str] = []
+        self._hotspot_cpu = -1.0
+        self._hotspot_name: Optional[str] = None
+        self._hotspot_profile: Optional[cProfile.Profile] = None
+
+    def phase(self, name: str) -> _PhaseContext:
+        """Time one phase entry: ``with profiler.phase("sort"): ...``."""
+        times = self.phases.get(name)
+        if times is None:
+            times = self.phases[name] = PhaseTimes(name)
+            self._order.append(name)
+        return _PhaseContext(self, times)
+
+    def _phase_done(self, times: PhaseTimes, cpu: float,
+                    capture: Optional[cProfile.Profile]) -> None:
+        if capture is not None and cpu > self._hotspot_cpu:
+            self._hotspot_cpu = cpu
+            self._hotspot_name = times.name
+            self._hotspot_profile = capture
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> List[dict]:
+        """Per-phase rows in first-use order."""
+        return [{"phase": name,
+                 "wall_s": self.phases[name].wall_s,
+                 "cpu_s": self.phases[name].cpu_s,
+                 "calls": self.phases[name].calls}
+                for name in self._order]
+
+    def hottest_phase(self) -> Optional[str]:
+        """Name of the phase with the largest accumulated CPU time."""
+        if not self.phases:
+            return None
+        return max(self._order, key=lambda n: self.phases[n].cpu_s)
+
+    def hotspot_stats(self, limit: int = 20) -> Optional[str]:
+        """pstats text of the captured hottest phase (None if not captured)."""
+        if self._hotspot_profile is None:
+            return None
+        buf = io.StringIO()
+        stats = pstats.Stats(self._hotspot_profile, stream=buf)
+        stats.sort_stats("cumulative").print_stats(limit)
+        return (f"hottest phase: {self._hotspot_name} "
+                f"({self._hotspot_cpu:.3f}s cpu)\n" + buf.getvalue())
+
+    def format_table(self) -> str:
+        """Human-readable per-phase table."""
+        rows = self.report()
+        if not rows:
+            return "no phases recorded"
+        width = max(len(r["phase"]) for r in rows)
+        lines = [f"{'phase'.ljust(width)}  {'wall_s':>9}  {'cpu_s':>9}  "
+                 f"{'calls':>6}"]
+        for r in rows:
+            lines.append(f"{r['phase'].ljust(width)}  {r['wall_s']:9.4f}  "
+                         f"{r['cpu_s']:9.4f}  {r['calls']:6d}")
+        return "\n".join(lines)
+
+
+class NullProfiler:
+    """No-op profiler sharing one null phase context."""
+
+    __slots__ = ()
+    enabled = False
+
+    class _NullPhase:
+        __slots__ = ()
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc) -> None:
+            pass
+
+    _PHASE = _NullPhase()
+
+    def phase(self, name: str) -> "_NullPhase":
+        return self._PHASE
+
+    def report(self) -> List[dict]:
+        return []
+
+    def hottest_phase(self) -> None:
+        return None
+
+    def hotspot_stats(self, limit: int = 20) -> None:
+        return None
+
+    def format_table(self) -> str:
+        return "no phases recorded"
+
+
+#: Module-level null profiler shared by every unprofiled run.
+NULL_PROFILER = NullProfiler()
+
+
+def ensure_profiler(profiler) -> object:
+    """Coerce an optional profiler argument to a usable recorder."""
+    return NULL_PROFILER if profiler is None else profiler

@@ -26,6 +26,8 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import ensure_metrics
+from ..obs.trace import ensure_tracer
 from ..storage.disk import SimulatedDisk
 from ..storage.journal import Journal
 from ..storage.pagefile import (PointFile, SequentialReader, SequentialWriter)
@@ -222,7 +224,8 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
                   memory_records: int,
                   fanin: int = 16,
                   run_strategy: str = "load",
-                  journal: Optional[Journal] = None
+                  journal: Optional[Journal] = None,
+                  trace=None, metrics=None
                   ) -> Tuple[PointFile, SortStats]:
     """Sort ``input_file`` into a new point file on ``output_disk``.
 
@@ -244,6 +247,11 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
         (and the same file-backed disks) resumes after the last completed
         step instead of starting over.  Requires ``run_strategy="load"``
         (replacement selection consumes its input stream statefully).
+    trace, metrics:
+        Optional :class:`~repro.obs.trace.Tracer` /
+        :class:`~repro.obs.metrics.MetricsRegistry`.  The sort emits
+        ``run_generation`` and per-pass ``merge_pass`` spans and the
+        ``ego_sort_*`` counters; ``None`` costs nothing.
 
     Returns the sorted :class:`PointFile` and the sort accounting.
     """
@@ -257,6 +265,8 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
         raise ValueError(
             "journaled sorting requires run_strategy='load'")
     codec = input_file.codec
+    tracer = ensure_tracer(trace)
+    registry = ensure_metrics(metrics)
 
     if journal is not None and journal.sort_complete is not None:
         done = journal.sort_complete
@@ -274,13 +284,14 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
         journal.state.get("sort_runs") or journal.state.get("merge_passes"))
     if not resuming:
         scratch_disk.truncate(0)
-    if run_strategy == "replacement":
-        runs = _generate_runs_replacement(input_file, scratch_disk,
-                                          key_of_batch, memory_records,
-                                          stats)
-    else:
-        runs = _generate_runs(input_file, scratch_disk, key_of_batch,
-                              memory_records, stats, journal=journal)
+    with tracer.span("run_generation", cat="sort"):
+        if run_strategy == "replacement":
+            runs = _generate_runs_replacement(input_file, scratch_disk,
+                                              key_of_batch, memory_records,
+                                              stats)
+        else:
+            runs = _generate_runs(input_file, scratch_disk, key_of_batch,
+                                  memory_records, stats, journal=journal)
 
     # Intermediate merge passes keep results on the scratch disk, the
     # final pass writes the output file.  With a journal, each completed
@@ -300,26 +311,31 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
     while len(runs) > fanin:
         pass_no += 1
         stats.merge_passes += 1
-        # New runs are appended after everything already on the scratch
-        # disk; singleton groups may keep runs positioned earlier, so the
-        # high-water mark is the max over all runs, not the last one.
-        next_byte = max(r.end_byte for r in runs)
-        merged: List[_Run] = []
-        for group_start in range(0, len(runs), fanin):
-            group = runs[group_start:group_start + fanin]
-            if len(group) == 1:
-                merged.append(group[0])
-                continue
-            target = _Run(scratch_disk, codec, next_byte)
-            writer = SequentialWriter(target.file,
-                                      buffer_records=memory_records)
-            buf = max(2, memory_records // (len(group) + 1))
-            sources = [_MergeSource(r.file, key_of_batch, buf) for r in group]
-            _merge_runs(sources, writer, codec.dimensions, buf)
-            writer.flush()
-            next_byte = target.end_byte
-            merged.append(target)
-        runs = merged
+        span_args = ({"pass": pass_no, "runs": len(runs)}
+                     if tracer.enabled else None)
+        with tracer.span("merge_pass", cat="sort", args=span_args):
+            # New runs are appended after everything already on the
+            # scratch disk; singleton groups may keep runs positioned
+            # earlier, so the high-water mark is the max over all runs,
+            # not the last one.
+            next_byte = max(r.end_byte for r in runs)
+            merged: List[_Run] = []
+            for group_start in range(0, len(runs), fanin):
+                group = runs[group_start:group_start + fanin]
+                if len(group) == 1:
+                    merged.append(group[0])
+                    continue
+                target = _Run(scratch_disk, codec, next_byte)
+                writer = SequentialWriter(target.file,
+                                          buffer_records=memory_records)
+                buf = max(2, memory_records // (len(group) + 1))
+                sources = [_MergeSource(r.file, key_of_batch, buf)
+                           for r in group]
+                _merge_runs(sources, writer, codec.dimensions, buf)
+                writer.flush()
+                next_byte = target.end_byte
+                merged.append(target)
+            runs = merged
         if journal is not None:
             journal.record_merge_pass(
                 pass_no, [(r.file.data_start, r.count) for r in runs])
@@ -328,12 +344,24 @@ def external_sort(input_file: PointFile, output_disk: SimulatedDisk,
     writer = SequentialWriter(output, buffer_records=memory_records)
     if runs:
         stats.merge_passes += 1
-        buf = max(2, memory_records // (len(runs) + 1))
-        sources = [_MergeSource(r.file, key_of_batch, buf) for r in runs]
-        _merge_runs(sources, writer, codec.dimensions, buf)
+        span_args = ({"pass": stats.merge_passes, "runs": len(runs),
+                      "final": True} if tracer.enabled else None)
+        with tracer.span("merge_pass", cat="sort", args=span_args):
+            buf = max(2, memory_records // (len(runs) + 1))
+            sources = [_MergeSource(r.file, key_of_batch, buf) for r in runs]
+            _merge_runs(sources, writer, codec.dimensions, buf)
     writer.flush()
     output.close()
     if journal is not None:
         journal.mark_sort_complete(output.count, stats.runs_generated,
                                    stats.merge_passes)
+    registry.counter(
+        "ego_sort_runs_total", "Sorted runs generated by the external sort",
+    ).inc(stats.runs_generated)
+    registry.counter(
+        "ego_sort_merge_passes_total", "Merge passes of the external sort",
+    ).inc(stats.merge_passes)
+    registry.counter(
+        "ego_sort_records_total", "Records sorted by the external sort",
+    ).inc(stats.records_sorted)
     return output, stats

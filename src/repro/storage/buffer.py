@@ -65,15 +65,23 @@ class BufferPool(Generic[K, V]):
     verification subsystem uses this to assert pin/unpin balance and
     that no pinned frame is ever dropped
     (:class:`repro.verify.invariants.InvariantMonitor`).
+
+    ``metrics`` is an optional bundle of counter handles (attributes
+    ``hits``, ``misses``, ``evictions``, ``pins``, ``unpins``, each with
+    an ``inc()`` method) mirroring the pool events into a metrics
+    registry; ``None`` (the default) keeps the storage layer entirely
+    free of observability work.  The scheduler builds the bundle — see
+    ``_BufferObs`` in :mod:`repro.core.scheduler`.
     """
 
     def __init__(self, capacity: int, loader: Callable[[K], V],
-                 observer=None) -> None:
+                 observer=None, metrics=None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.loader = loader
         self.observer = observer
+        self.metrics = metrics
         self.stats = BufferStats()
         self._frames: Dict[K, Frame[K, V]] = {}
         self._clock = 0
@@ -121,6 +129,8 @@ class BufferPool(Generic[K, V]):
             frame.pinned = True
             if self.observer is not None:
                 self.observer.on_pin(frame.key)
+            if self.metrics is not None:
+                self.metrics.pins.inc()
 
     def _evict_one(self) -> None:
         victims = [f for f in self._frames.values() if not f.pinned]
@@ -132,6 +142,8 @@ class BufferPool(Generic[K, V]):
         self.stats.evictions += 1
         if self.observer is not None:
             self.observer.on_evict(victim.key, victim.pinned)
+        if self.metrics is not None:
+            self.metrics.evictions.inc()
 
     def set_capacity(self, capacity: int) -> int:
         """Resize the pool, evicting unpinned LRU frames as needed.
@@ -153,11 +165,15 @@ class BufferPool(Generic[K, V]):
         frame = self._frames.get(key)
         if frame is not None:
             self.stats.hits += 1
+            if self.metrics is not None:
+                self.metrics.hits.inc()
             self._touch(frame)
             if pin:
                 self._pin_frame(frame)
             return frame.value
         self.stats.misses += 1
+        if self.metrics is not None:
+            self.metrics.misses.inc()
         if len(self._frames) >= self.capacity:
             self._evict_one()
         value = self.loader(key)
@@ -183,6 +199,8 @@ class BufferPool(Generic[K, V]):
             frame.pinned = False
             if self.observer is not None:
                 self.observer.on_unpin(key)
+            if self.metrics is not None:
+                self.metrics.unpins.inc()
 
     def unpin_all(self) -> None:
         """Remove the pins from every resident page."""
@@ -191,6 +209,8 @@ class BufferPool(Generic[K, V]):
                 frame.pinned = False
                 if self.observer is not None:
                     self.observer.on_unpin(frame.key)
+                if self.metrics is not None:
+                    self.metrics.unpins.inc()
 
     def discard(self, key: K) -> None:
         """Drop a resident page (no-op if absent); pins do not protect it."""

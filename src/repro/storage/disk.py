@@ -187,6 +187,17 @@ class SimulatedDisk:
         self._file.truncate(nbytes)
         self._last_end = None
 
+    def reset_position(self) -> None:
+        """Forget the arm position; the next access is charged as random.
+
+        Counters and clock are untouched.  Run-scoped accounting
+        (:class:`~repro.storage.stats.IOScope`) calls this at scope
+        entry so back-to-back pipeline runs reusing one disk classify
+        their first access the same way a fresh disk would, instead of
+        inheriting wherever the previous run left the arm.
+        """
+        self._last_end = None
+
     def reset_accounting(self) -> None:
         """Zero the counters and the simulated clock (data is untouched)."""
         self.counters.reset()

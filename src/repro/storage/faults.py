@@ -275,6 +275,9 @@ class FaultyDisk:
     def truncate(self, nbytes: int) -> None:
         self.inner.truncate(nbytes)
 
+    def reset_position(self) -> None:
+        self.inner.reset_position()
+
     def reset_accounting(self) -> None:
         self.inner.reset_accounting()
 

@@ -115,6 +115,73 @@ class CPUCounters:
         })
 
 
+class IOScope:
+    """Run-local I/O accounting over disks shared between runs.
+
+    A :class:`~repro.storage.disk.SimulatedDisk` keeps cumulative
+    counters, a cumulative simulated clock and the arm position of the
+    last access.  When one disk serves several pipeline runs
+    (e.g. repeated ``ego_self_join_file`` calls against the same input),
+    the counters are handled by delta arithmetic — but the arm position
+    used to leak silently from run to run, so the first access of run
+    N+1 could be classified sequential or random depending on where run
+    N happened to finish, making identical runs report different
+    random/sequential splits and simulated times.
+
+    Entering the scope (``begin()``, or use it as a context manager)
+    resets each disk's arm to the unknown position and snapshots its
+    counters and clock; ``io_delta()`` / ``time_delta()`` then return
+    exactly this run's I/O, independent of any earlier run.  ``None``
+    entries and duplicate disk objects are tolerated (duplicates are
+    counted once); wrappers without ``reset_position`` (plain duck-typed
+    disks) skip the arm reset but still get delta accounting.
+    """
+
+    def __init__(self, *disks) -> None:
+        unique = []
+        seen = set()
+        for disk in disks:
+            if disk is None or id(disk) in seen:
+                continue
+            seen.add(id(disk))
+            unique.append(disk)
+        self.disks = unique
+        self._io0 = None
+        self._time0 = None
+
+    def begin(self) -> "IOScope":
+        """Reset arm positions and snapshot counters/clocks."""
+        for disk in self.disks:
+            reset = getattr(disk, "reset_position", None)
+            if reset is not None:
+                reset()
+        self._io0 = [disk.counters.snapshot() for disk in self.disks]
+        self._time0 = [disk.simulated_time_s for disk in self.disks]
+        return self
+
+    def __enter__(self) -> "IOScope":
+        return self.begin()
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def io_delta(self) -> IOCounters:
+        """This scope's I/O, summed over its disks."""
+        if self._io0 is None:
+            raise RuntimeError("IOScope.begin() was never called")
+        total = IOCounters()
+        for disk, base in zip(self.disks, self._io0):
+            total = total + (disk.counters - base)
+        return total
+
+    def time_delta(self) -> float:
+        """This scope's simulated seconds, summed over its disks."""
+        if self._time0 is None:
+            raise RuntimeError("IOScope.begin() was never called")
+        return sum(disk.simulated_time_s - t0
+                   for disk, t0 in zip(self.disks, self._time0))
+
+
 @dataclass
 class OperationStats:
     """Bundle of I/O and CPU counters describing one algorithm run."""

@@ -71,6 +71,50 @@ class TestJoin:
                      "--count-only"]) == 0
         assert "pairs:" in capsys.readouterr().err
 
+    def test_join_observability_flags(self, data_file, tmp_path, capsys):
+        import json
+        trace_path = str(tmp_path / "run.trace.json")
+        metrics_path = str(tmp_path / "run.prom")
+        assert main(["join", data_file, "--epsilon", "0.2",
+                     "--count-only", "--trace", trace_path,
+                     "--metrics", metrics_path, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err and "metrics:" in err
+        assert "phase" in err and "schedule" in err  # profiler table
+        with open(trace_path) as fh:
+            doc = json.load(fh)
+        assert any(e["name"] == "external_self_join"
+                   for e in doc["traceEvents"])
+        with open(metrics_path) as fh:
+            text = fh.read()
+        assert "# TYPE ego_unit_reads_total counter" in text
+
+    def test_join_metrics_json_extension(self, data_file, tmp_path,
+                                         capsys):
+        import json
+        metrics_path = str(tmp_path / "run.metrics.json")
+        assert main(["join", data_file, "--epsilon", "0.2",
+                     "--count-only", "--metrics", metrics_path]) == 0
+        capsys.readouterr()
+        with open(metrics_path) as fh:
+            doc = json.load(fh)
+        assert doc["ego_unit_reads_total"]["kind"] == "counter"
+
+    def test_join_two_observability_flags(self, tmp_path, rng, capsys):
+        import json
+        r_path = str(tmp_path / "r.pts")
+        s_path = str(tmp_path / "s.pts")
+        save_points(r_path, rng.random((80, 2)))
+        save_points(s_path, rng.random((70, 2)))
+        trace_path = str(tmp_path / "rs.trace.json")
+        assert main(["join-two", r_path, s_path, "--epsilon", "0.2",
+                     "--count-only", "--trace", trace_path]) == 0
+        capsys.readouterr()
+        with open(trace_path) as fh:
+            doc = json.load(fh)
+        assert any(e["name"] == "external_rs_join"
+                   for e in doc["traceEvents"])
+
 
 class TestApps:
     def test_dbscan_outputs_labels(self, tmp_path, capsys):

@@ -1,0 +1,202 @@
+"""Schema validation of the observability exports.
+
+Checks the Chrome ``trace_event`` JSON a traced pipeline run produces
+(well-formed events, proper span nesting, stable pids/tids, no negative
+durations) and parses the Prometheus text exposition line by line
+against the format grammar (TYPE lines, label syntax, cumulative
+histogram series).
+"""
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from conftest import make_file
+from repro.core.ego_join import ego_self_join_file
+from repro.obs import MetricsRegistry, PhaseProfiler, Tracer
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pagefile import PointFile
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One fully instrumented pipeline run shared by the schema tests."""
+    rng = np.random.default_rng(7)
+    pts = rng.uniform(size=(350, 4))
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    profiler = PhaseProfiler(capture_hotspot=True)
+    with SimulatedDisk() as disk:
+        make_file(disk, pts)
+        pf = PointFile.open(disk)
+        report = ego_self_join_file(pf, 0.12, unit_bytes=2048,
+                                    buffer_units=4, trace=tracer,
+                                    metrics=registry, profiler=profiler)
+    return tracer, registry, profiler, report
+
+
+class TestChromeTraceSchema:
+    def test_top_level_object(self, traced_run, tmp_path):
+        tracer = traced_run[0]
+        path = tmp_path / "trace.json"
+        tracer.dump(str(path))
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] in ("ms", "ns")
+        assert doc["traceEvents"] == tracer.to_chrome()["traceEvents"]
+
+    def test_every_event_is_well_formed(self, traced_run):
+        tracer = traced_run[0]
+        assert tracer.events, "a traced run must emit events"
+        for e in tracer.events:
+            assert e["ph"] in ("X", "i")
+            assert isinstance(e["name"], str) and e["name"]
+            assert isinstance(e["cat"], str) and e["cat"]
+            assert e["pid"] == 1
+            assert isinstance(e["tid"], int) and e["tid"] >= 1
+            assert e["ts"] >= 0.0
+            if e["ph"] == "X":
+                assert e["dur"] >= 0.0
+            if "args" in e:
+                assert isinstance(e["args"], dict) and e["args"]
+                json.dumps(e["args"])  # JSON-serialisable
+
+    def test_tids_are_stable_small_integers(self, traced_run):
+        tracer = traced_run[0]
+        tids = sorted({e["tid"] for e in tracer.events})
+        assert tids == list(range(1, len(tids) + 1))
+
+    def test_spans_nest_properly(self, traced_run):
+        """Per thread, complete spans form a proper hierarchy.
+
+        Two spans on one thread either do not overlap in time or one
+        contains the other — context-managed spans cannot partially
+        overlap.
+        """
+        tracer = traced_run[0]
+        by_tid = {}
+        for e in tracer.spans():
+            by_tid.setdefault(e["tid"], []).append(e)
+        for events in by_tid.values():
+            # Sort by start; ties broken longest-first (parent first).
+            events.sort(key=lambda e: (e["ts"], -e["dur"]))
+            stack = []
+            for e in events:
+                end = e["ts"] + e["dur"]
+                while stack and e["ts"] >= stack[-1]:
+                    stack.pop()
+                if stack:
+                    assert end <= stack[-1], \
+                        f"span {e['name']} escapes its parent"
+                stack.append(end)
+
+    def test_expected_hierarchy_present(self, traced_run):
+        tracer, _registry, _profiler, report = traced_run
+        names = {e["name"] for e in tracer.spans()}
+        assert {"external_self_join", "sort", "run_generation",
+                "schedule", "load", "unit_pair", "sequence_join",
+                "leaf"} <= names
+        root = tracer.spans("external_self_join")
+        assert len(root) == 1
+        # The root span covers every other span on its thread.
+        lo, hi = root[0]["ts"], root[0]["ts"] + root[0]["dur"]
+        for e in tracer.spans():
+            if e["tid"] == root[0]["tid"]:
+                assert lo <= e["ts"] and e["ts"] + e["dur"] <= hi
+        # One load span per physical unit read.
+        assert len(tracer.spans("load")) \
+            == report.schedule_stats.total_unit_loads
+
+    def test_profiler_report_matches_phases(self, traced_run):
+        profiler = traced_run[2]
+        rows = {r["phase"]: r for r in profiler.report()}
+        assert set(rows) == {"sort", "schedule"}
+        for r in rows.values():
+            assert r["calls"] == 1
+            assert r["wall_s"] >= 0.0 and r["cpu_s"] >= 0.0
+        assert profiler.hottest_phase() in rows
+        hotspot = profiler.hotspot_stats()
+        assert hotspot is not None and "hottest phase" in hotspot
+        table = profiler.format_table()
+        assert "sort" in table and "schedule" in table
+
+
+#: Prometheus exposition grammar for the pieces this exporter emits.
+_METRIC_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>[^ ]+)$")
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+
+class TestPrometheusText:
+    def test_parses_line_by_line(self, traced_run):
+        registry = traced_run[1]
+        text = registry.to_prometheus_text()
+        assert text.endswith("\n")
+        typed = {}
+        current = None
+        for line in text.splitlines():
+            assert line == line.strip() and line
+            if line.startswith("# HELP "):
+                continue
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert kind in ("counter", "gauge", "histogram")
+                assert name not in typed, "one TYPE line per family"
+                typed[name] = kind
+                current = name
+                continue
+            m = _METRIC_RE.match(line)
+            assert m, f"unparseable sample line: {line!r}"
+            base = m.group("name")
+            for suffix in ("_bucket", "_sum", "_count"):
+                if typed.get(current) == "histogram" \
+                        and base == current + suffix:
+                    base = current
+            assert base == current, f"sample {base} outside its family"
+            if m.group("labels"):
+                for pair in m.group("labels").split(","):
+                    assert _LABEL_RE.match(pair), pair
+            float(m.group("value"))  # must parse as a number
+
+    def test_histogram_series_are_cumulative(self, traced_run):
+        registry = traced_run[1]
+        text = registry.to_prometheus_text()
+        buckets = {}
+        for line in text.splitlines():
+            m = re.match(r'^(\w+)_bucket\{le="([^"]+)"\} (\d+)$', line)
+            if m:
+                buckets.setdefault(m.group(1), []).append(
+                    (m.group(2), int(m.group(3))))
+        assert buckets, "expected at least one histogram"
+        for name, series in buckets.items():
+            counts = [c for _le, c in series]
+            assert counts == sorted(counts), f"{name} not cumulative"
+            assert series[-1][0] == "+Inf"
+            total = int(re.search(rf"^{name}_count (\d+)$", text,
+                                  re.M).group(1))
+            assert series[-1][1] == total
+
+    def test_dumps_are_reproducible(self, traced_run, tmp_path):
+        registry = traced_run[1]
+        a, b = tmp_path / "a.prom", tmp_path / "b.prom"
+        registry.dump(str(a))
+        registry.dump(str(b))
+        assert a.read_bytes() == b.read_bytes()
+        j = tmp_path / "m.json"
+        registry.dump(str(j))
+        assert json.loads(j.read_text()) == registry.to_json()
+
+    def test_no_wall_clock_metrics(self, traced_run):
+        """Policy gate: wall-time goes to the profiler, never to metrics.
+
+        ``ego_simulated_io_seconds`` is allowed — the simulated clock is
+        deterministic — but nothing derived from the host's real clock
+        may enter the registry, or exports stop being reproducible.
+        """
+        registry = traced_run[1]
+        for name in registry.names():
+            assert "wall" not in name and "cpu_seconds" not in name

@@ -3,8 +3,12 @@
 import numpy as np
 import pytest
 
+from conftest import make_file
+from repro.core.ego_join import ego_self_join_file
 from repro.core.result import JoinResult
-from repro.storage.stats import CPUCounters, IOCounters, OperationStats
+from repro.storage.disk import SimulatedDisk
+from repro.storage.stats import (CPUCounters, IOCounters, IOScope,
+                                 OperationStats)
 
 
 class TestJoinResult:
@@ -115,3 +119,75 @@ class TestOperationStats:
         assert b.cpu.distance_calculations == 6
         a.reset()
         assert a.io.bytes_read == 0
+
+
+class TestIOScope:
+    def test_delta_accounting(self, temp_disk):
+        temp_disk.write(0, b"x" * 64)
+        scope = IOScope(temp_disk).begin()
+        temp_disk.write(64, b"y" * 32)
+        temp_disk.read(0, 16)
+        delta = scope.io_delta()
+        assert delta.bytes_written == 32
+        assert delta.bytes_read == 16
+        assert delta.total_accesses == 2
+        assert scope.time_delta() > 0.0
+
+    def test_resets_arm_position(self, temp_disk):
+        # Leave the arm exactly at offset 64; without the reset the next
+        # access at 64 would count as sequential.
+        temp_disk.write(0, b"x" * 64)
+        with IOScope(temp_disk) as scope:
+            temp_disk.read(64, 16)
+        assert scope.io_delta().random_reads == 1
+        assert scope.io_delta().sequential_reads == 0
+
+    def test_dedups_and_tolerates_none(self, temp_disk):
+        scope = IOScope(temp_disk, temp_disk, None).begin()
+        temp_disk.write(0, b"z" * 8)
+        assert scope.io_delta().bytes_written == 8  # counted once
+
+    def test_requires_begin(self, temp_disk):
+        scope = IOScope(temp_disk)
+        with pytest.raises(RuntimeError):
+            scope.io_delta()
+        with pytest.raises(RuntimeError):
+            scope.time_delta()
+
+    def test_duck_typed_disk_without_reset_position(self):
+        class Duck:
+            def __init__(self):
+                self.counters = IOCounters()
+                self.simulated_time_s = 0.0
+        duck = Duck()
+        scope = IOScope(duck).begin()
+        duck.counters.random_reads += 1
+        assert scope.io_delta().random_reads == 1
+
+
+class TestBackToBackRuns:
+    def test_repeated_external_joins_report_identical_io(self, rng):
+        """Regression: the arm position must not leak between runs.
+
+        Before run-scoped accounting, a second ``ego_self_join_file``
+        on the same disk inherited the arm position where the first run
+        parked it, so its first access could be classified sequential
+        instead of random — different counters and simulated time for
+        byte-identical work.
+        """
+        pts = rng.uniform(size=(250, 4))
+        with SimulatedDisk() as disk:
+            make_file(disk, pts)
+            from repro.storage.pagefile import PointFile
+            pf = PointFile.open(disk)
+
+            def run():
+                r = ego_self_join_file(pf, 0.1, unit_bytes=2048,
+                                       buffer_units=4, materialize=False)
+                return (r.result.count, r.io, r.simulated_io_time_s,
+                        r.sort_io_time_s, r.join_io_time_s)
+
+            first, second = run(), run()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        assert first[2:] == second[2:]
