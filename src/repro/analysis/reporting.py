@@ -113,6 +113,34 @@ def robustness_summary(report) -> Sequence[Mapping[str, Cell]]:
                      "value": report.schedule_stats.pairs_resumed})
     rows.append({"metric": "buffer shrinks under pressure",
                  "value": report.schedule_stats.pressure_shrinks})
+    wf = getattr(report, "worker_faults", None)
+    if wf is not None:
+        rows.append({"metric": "injected worker crashes",
+                     "value": wf.crashes})
+        rows.append({"metric": "injected worker stalls",
+                     "value": wf.stalls})
+        rows.append({"metric": "injected corrupted task results",
+                     "value": wf.corrupted_results})
+        rows.append({"metric": "injected task errors",
+                     "value": wf.task_errors})
+    sup = getattr(report, "supervisor", None)
+    if sup is not None:
+        rows.append({"metric": "tasks retried", "value": sup.retries})
+        rows.append({"metric": "task timeouts", "value": sup.timeouts})
+        rows.append({"metric": "worker crashes detected",
+                     "value": sup.crashes_detected})
+        rows.append({"metric": "corrupt task results detected",
+                     "value": sup.corrupt_results})
+        rows.append({"metric": "worker pools recycled",
+                     "value": sup.pool_recycles})
+        rows.append({"metric": "tasks quarantined",
+                     "value": sup.quarantined})
+        rows.append({"metric": "tasks drained in-process",
+                     "value": sup.inline_tasks})
+        rows.append({"metric": "degraded to serial",
+                     "value": sup.degraded})
+        rows.append({"metric": "task backoff (simulated s)",
+                     "value": round(sup.backoff_simulated_s, 6)})
     if report.total_pairs is not None:
         rows.append({"metric": "total result pairs",
                      "value": report.total_pairs})

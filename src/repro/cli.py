@@ -32,11 +32,12 @@ from .analysis.reporting import format_table, robustness_summary
 from .apps.dbscan import dbscan
 from .apps.outliers import distance_based_outliers
 from .core.ego_join import ego_join_files, ego_self_join_file
+from .core.supervisor import SupervisorError
 from .obs import MetricsRegistry, PhaseProfiler, Tracer
 from .data.loader import load_points, save_points
 from .data.synthetic import cad_like, gaussian_clusters, uniform
 from .storage.disk import SimulatedDisk
-from .storage.faults import FaultPlan, SimulatedCrash
+from .storage.faults import FaultPlan, SimulatedCrash, WorkerFaultPlan
 from .storage.integrity import CorruptPageError, RetryPolicy
 from .storage.pagefile import PointFile
 from .storage.records import record_size
@@ -132,6 +133,51 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                      **kwargs)
 
 
+def parse_worker_fault_spec(spec: str) -> WorkerFaultPlan:
+    """Build a :class:`WorkerFaultPlan` from a ``key=value`` comma list.
+
+    Keys: ``seed``, ``crash``/``stall``/``corrupt``/``error`` (a unit
+    pair ``A:B``, repeatable), ``crash-rate``/``stall-rate``/
+    ``corrupt-rate``/``error-rate`` (per-pair probabilities),
+    ``stall-seconds``, ``max-attempt`` (``none`` = permanent faults).
+    Example::
+
+        --worker-faults seed=7,crash=3:3,stall-rate=0.05,error-rate=0.1
+    """
+    kwargs = {"seed": 0, "stall_seconds": 30.0, "max_attempt": 0}
+    pair_keys = {"crash": "crash_pairs", "stall": "stall_pairs",
+                 "corrupt": "corrupt_pairs", "error": "error_pairs"}
+    rate_keys = {"crash-rate": "crash_rate", "stall-rate": "stall_rate",
+                 "corrupt-rate": "corrupt_rate", "error-rate": "error_rate"}
+    pairs = {name: [] for name in pair_keys.values()}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"worker fault spec item {item!r} is not key=value")
+        key, value = item.split("=", 1)
+        key = key.strip()
+        if key == "seed":
+            kwargs["seed"] = int(value)
+        elif key == "stall-seconds":
+            kwargs["stall_seconds"] = float(value)
+        elif key == "max-attempt":
+            kwargs["max_attempt"] = (None if value.strip().lower()
+                                     in ("none", "inf") else int(value))
+        elif key in pair_keys:
+            a, sep, b = value.partition(":")
+            if not sep or not a or not b:
+                raise ValueError(f"unit pair {value!r} is not A:B")
+            pairs[pair_keys[key]].append((int(a), int(b)))
+        elif key in rate_keys:
+            kwargs[rate_keys[key]] = float(value)
+        else:
+            raise ValueError(f"unknown worker fault spec key {key!r}")
+    return WorkerFaultPlan(**pairs, **kwargs)
+
+
 def _build_obs(args):
     """Observability recorders requested by ``--trace/--metrics/--profile``.
 
@@ -158,13 +204,24 @@ def _dump_obs(args, tracer, registry, profiler) -> None:
 
 
 def cmd_join(args) -> int:
-    """Handle ``repro join``."""
+    """Handle ``repro join``.
+
+    Exit codes: ``0`` clean completion, ``1`` crash or unmasked data
+    corruption (resumable with ``--checkpoint``), ``2`` usage error,
+    ``3`` join completed but in degraded (serial) mode after repeated
+    worker-pool failure, ``4`` unrecoverable worker fault (poisoned
+    task, or pool failure with ``--no-degrade``).
+    """
     try:
         fault_plan = parse_fault_spec(args.faults) if args.faults else None
+        worker_faults = (parse_worker_fault_spec(args.worker_faults)
+                         if args.worker_faults else None)
         if args.resume and not args.checkpoint:
             raise ValueError("--resume requires --checkpoint DIR")
         if args.workers < 1:
             raise ValueError("--workers must be at least 1")
+        if args.task_retries < 0:
+            raise ValueError("--task-retries must be >= 0")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -190,6 +247,13 @@ def cmd_join(args) -> int:
                                         checksums=args.checksums,
                                         checkpoint_dir=args.checkpoint,
                                         resume=args.resume,
+                                        worker_fault_plan=worker_faults,
+                                        task_timeout=(args.task_timeout
+                                                      if args.task_timeout
+                                                      and args.task_timeout
+                                                      > 0 else None),
+                                        task_retries=args.task_retries,
+                                        degrade=args.degrade,
                                         trace=tracer, metrics=registry,
                                         profiler=profiler)
         except SimulatedCrash as exc:
@@ -204,6 +268,9 @@ def cmd_join(args) -> int:
             print("rerun with --retries N to mask transient corruption",
                   file=sys.stderr)
             return 1
+        except SupervisorError as exc:
+            print(f"unrecoverable worker fault: {exc}", file=sys.stderr)
+            return 4
     _dump_obs(args, tracer, registry, profiler)
     pairs = report.total_pairs
     if pairs is None:
@@ -215,13 +282,22 @@ def cmd_join(args) -> int:
           f"simulated I/O: {report.simulated_io_time_s:.3f}s",
           file=sys.stderr)
     if fault_plan is not None or args.checksums or retry is not None \
-            or args.checkpoint:
+            or args.checkpoint or worker_faults is not None \
+            or report.supervisor is not None:
         print(format_table(robustness_summary(report),
                            title="robustness"), file=sys.stderr)
     if args.checkpoint:
         print(f"durable result: {report.result_path}", file=sys.stderr)
     if not args.count_only and report.result.materialize:
         _print_pairs(report.result, args.limit)
+    sup = report.supervisor
+    if sup is not None and sup.degraded:
+        print(f"degraded: worker pool failed {sup.pool_recycles} times; "
+              f"{sup.inline_tasks} task(s) drained serially in-process "
+              f"({sup.retries} retries, {sup.timeouts} timeouts, "
+              f"{sup.crashes_detected} worker crashes) — results are "
+              f"complete and exact", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -420,6 +496,25 @@ def build_parser() -> argparse.ArgumentParser:
     j.add_argument("--workers", type=int, default=1, metavar="N",
                    help="join scheduled unit pairs on N processes "
                         "(results are identical to the serial run)")
+    j.add_argument("--task-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="deadline on the oldest outstanding worker task; "
+                        "on expiry the hung pool is recycled and the "
+                        "task retried (0 disables; default 30)")
+    j.add_argument("--task-retries", type=int, default=2, metavar="N",
+                   help="retry a failed/hung/corrupted worker task up to "
+                        "N times before quarantining it (default 2)")
+    j.add_argument("--degrade", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="on repeated worker-pool failure, finish the "
+                        "remaining tasks serially in-process instead of "
+                        "aborting (exit code 3 marks a degraded run)")
+    j.add_argument("--worker-faults", default=None, metavar="SPEC",
+                   help="inject worker faults (testing): comma list of "
+                        "seed=N, crash=A:B, stall=A:B, corrupt=A:B, "
+                        "error=A:B (repeatable), crash-rate=R, "
+                        "stall-rate=R, corrupt-rate=R, error-rate=R, "
+                        "stall-seconds=S, max-attempt=N|none")
     j.add_argument("--faults", default=None, metavar="SPEC",
                    help="inject storage faults: comma list of seed=N, "
                         "read-errors=RATE, corrupt=RATE, torn=RATE, "

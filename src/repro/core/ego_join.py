@@ -30,7 +30,8 @@ from ..obs.profile import ensure_profiler
 from ..obs.trace import ensure_tracer
 from ..sorting.external_sort import SortStats, external_sort
 from ..storage.disk import SimulatedDisk
-from ..storage.faults import FaultLog, FaultPlan
+from ..storage.faults import (FaultLog, FaultPlan, WorkerFaultLog,
+                              WorkerFaultPlan)
 from ..storage.integrity import RetryPolicy, make_robust_disk
 from ..storage.journal import Journal
 from ..storage.pagefile import PointFile
@@ -43,6 +44,8 @@ from .result import JoinResult
 from .scheduler import EGOScheduler, ScheduleStats
 from .sequence import Sequence
 from .sequence_join import DEFAULT_MINLEN, JoinContext, join_sequences
+from .supervisor import (SupervisedUnitJoiner, SupervisorPolicy,
+                         SupervisorStats, replay_stats)
 
 
 def _make_context(epsilon: float, result: JoinResult, minlen: int,
@@ -148,6 +151,10 @@ class ExternalJoinReport:
     the durable pair file of a checkpointed run, and ``total_pairs`` is
     the complete join cardinality — on a resumed run this covers pairs
     produced *before* the crash as well, which ``result`` does not.
+    ``supervisor`` is the fault-handling ledger of a parallel run
+    (:class:`~repro.core.supervisor.SupervisorStats`; cumulative across
+    crash/resume), and ``worker_faults`` the injection log of a
+    :class:`~repro.storage.faults.WorkerFaultPlan`.
     """
 
     result: JoinResult
@@ -162,6 +169,8 @@ class ExternalJoinReport:
     resumed: bool = False
     result_path: Optional[str] = None
     total_pairs: Optional[int] = None
+    supervisor: Optional["SupervisorStats"] = None
+    worker_faults: Optional["WorkerFaultLog"] = None
 
 
 def _record_io_metrics(registry, io: IOCounters,
@@ -324,6 +333,11 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                        checkpoint_dir: Optional[str] = None,
                        resume: bool = False,
                        workers: int = 1,
+                       worker_fault_plan: Optional[WorkerFaultPlan] = None,
+                       task_timeout: Optional[float] = None,
+                       task_retries: int = 2,
+                       degrade: bool = True,
+                       supervisor_policy: Optional[SupervisorPolicy] = None,
                        invariants: bool = False,
                        trace=None, metrics=None,
                        profiler=None) -> ExternalJoinReport:
@@ -377,11 +391,28 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
     workers:
         Unit-pair join parallelism.  With ``workers > 1`` the scheduled
         unit pairs are joined on a process pool
-        (:class:`~repro.core.parallel.ParallelUnitJoiner`) while the
-        scheduler keeps streaming I/O; worker results are merged in
+        (:class:`~repro.core.supervisor.SupervisedUnitJoiner`) while
+        the scheduler keeps streaming I/O; worker results are merged in
         schedule order, so the result stream — including a
         checkpointed run's durable pair file and journal — is
         byte-identical to the serial run.
+    worker_fault_plan, task_timeout, task_retries, degrade,
+    supervisor_policy:
+        Fault tolerance of the parallel join (workers > 1; see
+        :mod:`repro.core.supervisor`).  Failed tasks — injected by a
+        seeded :class:`~repro.storage.faults.WorkerFaultPlan` or real —
+        are retried up to ``task_retries`` times with deterministic
+        backoff; ``task_timeout`` (real seconds, ``None`` = no deadline)
+        bounds the wait on the oldest outstanding task, after which the
+        hung pool is recycled; repeated pool failure degrades the run to
+        serial in-process execution (``degrade=True``) so it completes,
+        or aborts with
+        :class:`~repro.core.supervisor.PoolFailureError`
+        (``degrade=False``).  ``supervisor_policy`` supplies a full
+        :class:`~repro.core.supervisor.SupervisorPolicy` and overrides
+        the three convenience knobs.  Supervisor decisions are journaled
+        under ``checkpoint_dir`` so a resumed run reports cumulative
+        counters identical to an uninterrupted one.
     invariants:
         Enable the runtime invariant hooks
         (:mod:`repro.verify.invariants`): ε-interval coverage of the
@@ -407,6 +438,10 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
     validate_epsilon(epsilon)
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    if supervisor_policy is None:
+        supervisor_policy = SupervisorPolicy(task_timeout=task_timeout,
+                                             max_task_retries=task_retries,
+                                             degrade=degrade)
     tracer = ensure_tracer(trace)
     registry = ensure_metrics(metrics)
     prof = ensure_profiler(profiler)
@@ -501,8 +536,11 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
             collector = SpillingCollector(pair_file)
 
         if journal is not None and journal.join_complete is not None:
-            # The previous incarnation finished everything; nothing to do.
+            # The previous incarnation finished everything; nothing to
+            # do — but replay its journaled supervisor decisions so the
+            # report still carries the run's cumulative fault ledger.
             total = journal.join_complete["pairs"]
+            events = journal.supervisor_events()
             return ExternalJoinReport(
                 result=JoinResult(materialize=False),
                 sort_stats=SortStats(), schedule_stats=ScheduleStats(),
@@ -510,7 +548,11 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                 simulated_io_time_s=0.0, sort_io_time_s=0.0,
                 join_io_time_s=0.0,
                 faults=fault_plan.injected if fault_plan else None,
-                resumed=True, result_path=result_path, total_pairs=total)
+                resumed=True, result_path=result_path, total_pairs=total,
+                supervisor=(replay_stats(events, supervisor_policy)
+                            if events else None),
+                worker_faults=(worker_fault_plan.injected
+                               if worker_fault_plan else None))
 
         # Run-local I/O scope: snapshots counters and resets arm
         # positions so back-to-back runs reusing the same input disk
@@ -554,11 +596,28 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                 journal.record_unit_pair(a, b, pair_file.count)
 
         join_time_before = sorted_disk_obj.simulated_time_s
-        unit_joiner = None
+        supervisor_stats = None
         if workers > 1:
-            from .parallel import ParallelUnitJoiner
-            unit_joiner = ParallelUnitJoiner(ctx, workers)
-        try:
+            decision_hook = None
+            replay_events = ()
+            if journal is not None:
+                decision_hook = (lambda kind, key, attempt:
+                                 journal.record_supervisor_event(
+                                     kind, key[0], key[1], attempt))
+                if resume:
+                    replay_events = journal.replay_supervisor_events()
+            unit_joiner = SupervisedUnitJoiner(
+                ctx, workers, policy=supervisor_policy,
+                worker_plan=worker_fault_plan,
+                decision_hook=decision_hook,
+                replay_events=replay_events)
+            supervisor_stats = unit_joiner.stats
+        else:
+            from .parallel import SerialUnitJoiner
+            unit_joiner = SerialUnitJoiner(ctx)
+        # The context manager shuts the pool down on *every* exit path —
+        # a fault escaping the schedule must not leak worker processes.
+        with unit_joiner:
             scheduler = EGOScheduler(sorted_file, ctx, unit_bytes,
                                      buffer_units,
                                      allow_crabstep=allow_crabstep,
@@ -568,9 +627,6 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
             with prof.phase("schedule"), \
                     tracer.span("schedule", cat="pipeline"):
                 schedule_stats = scheduler.run()
-        finally:
-            if unit_joiner is not None:
-                unit_joiner.close()
         join_io_time = sorted_disk_obj.simulated_time_s - join_time_before
 
         total_pairs = result.count
@@ -596,6 +652,9 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
             resumed=resume,
             result_path=result_path,
             total_pairs=total_pairs,
+            supervisor=supervisor_stats,
+            worker_faults=(worker_fault_plan.injected
+                           if worker_fault_plan else None),
         )
     finally:
         root_span.__exit__(None, None, None)

@@ -226,9 +226,16 @@ class SerialUnitJoiner:
     def __init__(self, ctx: JoinContext) -> None:
         self.ctx = ctx
 
+    def __enter__(self) -> "SerialUnitJoiner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def submit(self, ids_a: np.ndarray, pts_a: np.ndarray,
                ids_b: Optional[np.ndarray], pts_b: Optional[np.ndarray],
-               on_complete: Optional[Callable[[], None]] = None) -> None:
+               on_complete: Optional[Callable[[], None]] = None,
+               key: Optional[Tuple[int, int]] = None) -> None:
         """Join one unit pair immediately (``ids_b is None`` = self-pair)."""
         if ids_b is None:
             join_point_blocks(ids_a, pts_a, ids_a, pts_a, self.ctx,
@@ -280,9 +287,16 @@ class ParallelUnitJoiner:
         self._pending: Dict[int, Tuple[Future,
                                        Optional[Callable[[], None]]]] = {}
 
+    def __enter__(self) -> "ParallelUnitJoiner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def submit(self, ids_a: np.ndarray, pts_a: np.ndarray,
                ids_b: Optional[np.ndarray], pts_b: Optional[np.ndarray],
-               on_complete: Optional[Callable[[], None]] = None) -> None:
+               on_complete: Optional[Callable[[], None]] = None,
+               key: Optional[Tuple[int, int]] = None) -> None:
         """Queue one unit pair; emits any results that are ready in order."""
         fut = self._pool.submit(_run_unit_pair, ids_a, pts_a, ids_b, pts_b)
         self._pending[self._next_submit] = (fut, on_complete)

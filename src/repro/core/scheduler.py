@@ -299,11 +299,13 @@ class EGOScheduler:
         with self._tracer.span("unit_pair", args=span_args):
             if a == b:
                 self.unit_joiner.submit(ids_a, pts_a, None, None,
-                                        on_complete)
+                                        on_complete,
+                                        key=(a, a))
             else:
                 ids_b, pts_b = self.pool.peek(b).value
                 self.unit_joiner.submit(ids_a, pts_a, ids_b, pts_b,
-                                        on_complete)
+                                        on_complete,
+                                        key=(min(a, b), max(a, b)))
 
     # -- the schedule ---------------------------------------------------------
 

@@ -39,8 +39,21 @@ Fault kinds
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Tuple
+
+
+def stable_fraction(seed: int, *parts) -> float:
+    """A deterministic value in [0, 1) from a seed and arbitrary parts.
+
+    Unlike a stateful RNG, the value depends only on its inputs — not on
+    how many decisions came before — which is what lets the parent
+    process, every worker process, and a resumed run all agree on the
+    same fault decision for the same task.
+    """
+    text = ":".join(str(p) for p in (seed,) + parts)
+    return zlib.crc32(text.encode("utf-8")) / 2.0 ** 32
 
 
 class FaultInjectionError(IOError):
@@ -49,6 +62,10 @@ class FaultInjectionError(IOError):
 
 class TransientReadError(FaultInjectionError):
     """A read failed transiently; re-issuing it normally succeeds."""
+
+
+class InjectedTaskError(FaultInjectionError):
+    """A unit-pair join task failed by injection (worker fault plan)."""
 
 
 class SimulatedCrash(RuntimeError):
@@ -300,3 +317,148 @@ class FaultyDisk:
         offset = self.size()
         self.write(offset, data)
         return offset
+
+
+# -- process-level worker faults --------------------------------------------
+
+
+@dataclass
+class WorkerFaultLog:
+    """Counts of the worker faults a plan's supervisor actually observed.
+
+    The log lives in the *parent* process: a crashed worker cannot report
+    its own death, so the supervisor records each fault as it detects it
+    (broken pool, merge-deadline timeout, digest mismatch, task error).
+    """
+
+    crashes: int = 0
+    stalls: int = 0
+    corrupted_results: int = 0
+    task_errors: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of observed worker faults of any kind."""
+        return (self.crashes + self.stalls + self.corrupted_results
+                + self.task_errors)
+
+
+class WorkerFaultPlan:
+    """A seeded, deterministic schedule of process-level task faults.
+
+    Where :class:`FaultPlan` injects faults into the storage data path,
+    this plan injects them into the *execution* of unit-pair join tasks
+    on the worker pool (see
+    :class:`~repro.core.supervisor.SupervisedUnitJoiner`).  Decisions are
+    keyed by the unit-pair key ``(a, b)`` and the attempt number, and are
+    pure functions of the plan parameters (:func:`stable_fraction`, no
+    RNG state) — so the parent, every worker process, and a resumed run
+    all adjudicate identically, regardless of scheduling order.
+
+    Fault kinds (precedence ``crash > stall > corrupt > error`` when one
+    key matches several):
+
+    * **crash** — the worker process exits hard (``os._exit``), breaking
+      the whole pool: every pending task fails and the supervisor must
+      recycle the executor;
+    * **stall** — the worker sleeps ``stall_seconds`` before computing,
+      modelling a hung worker; only a per-task deadline can catch it;
+    * **corrupt** — the task computes correctly but one byte of the
+      returned pair batch is flipped after the result digest is taken,
+      modelling IPC/serialisation corruption (detected by the digest);
+    * **error** — the task raises :class:`InjectedTaskError`, modelling a
+      transient in-process failure (OOM kill handler, lost future).
+
+    Parameters
+    ----------
+    seed:
+        Seed folded into every decision hash.
+    crash_pairs, stall_pairs, corrupt_pairs, error_pairs:
+        Explicit unit-pair keys ``(a, b)`` to fault (order-normalised).
+    crash_rate, stall_rate, corrupt_rate, error_rate:
+        Per-pair probabilities, adjudicated by stable hash of
+        ``(seed, kind, key)`` — independent of execution order.
+    stall_seconds:
+        How long a stalled worker sleeps.  Make this much larger than
+        the supervisor's task deadline or the stall may complete
+        undetected.
+    max_attempt:
+        Faults fire only while ``attempt <= max_attempt`` (default 0:
+        first attempt only, so one retry recovers).  ``None`` makes the
+        fault permanent — it fires on *every* attempt, including the
+        quarantine's inline retry, which is how a poisoned task (a data
+        bug rather than an environment fault) is modelled.
+    """
+
+    KINDS: Tuple[str, ...] = ("crash", "stall", "corrupt", "error")
+
+    def __init__(self, seed: int = 0,
+                 crash_pairs: Iterable[Tuple[int, int]] = (),
+                 stall_pairs: Iterable[Tuple[int, int]] = (),
+                 corrupt_pairs: Iterable[Tuple[int, int]] = (),
+                 error_pairs: Iterable[Tuple[int, int]] = (),
+                 crash_rate: float = 0.0,
+                 stall_rate: float = 0.0,
+                 corrupt_rate: float = 0.0,
+                 error_rate: float = 0.0,
+                 stall_seconds: float = 30.0,
+                 max_attempt: Optional[int] = 0) -> None:
+        self.seed = int(seed)
+        self.pairs = {
+            "crash": self._normalise(crash_pairs),
+            "stall": self._normalise(stall_pairs),
+            "corrupt": self._normalise(corrupt_pairs),
+            "error": self._normalise(error_pairs),
+        }
+        self.rates = {"crash": crash_rate, "stall": stall_rate,
+                      "corrupt": corrupt_rate, "error": error_rate}
+        for kind, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{kind}_rate must be in [0, 1], got {rate}")
+        if stall_seconds <= 0.0:
+            raise ValueError(
+                f"stall_seconds must be positive, got {stall_seconds}")
+        self.stall_seconds = float(stall_seconds)
+        if max_attempt is not None and max_attempt < 0:
+            raise ValueError(
+                f"max_attempt must be >= 0 or None, got {max_attempt}")
+        self.max_attempt = max_attempt
+        self.injected = WorkerFaultLog()
+
+    @staticmethod
+    def _normalise(pairs: Iterable[Tuple[int, int]]) -> frozenset:
+        return frozenset((min(int(a), int(b)), max(int(a), int(b)))
+                         for a, b in pairs)
+
+    @property
+    def any_faults(self) -> bool:
+        """True when the plan can inject at least one fault."""
+        return (any(self.pairs.values())
+                or any(rate > 0.0 for rate in self.rates.values()))
+
+    def decide(self, key: Tuple[int, int],
+               attempt: int) -> Optional[str]:
+        """The fault kind to inject for ``key`` at ``attempt``, or None.
+
+        Pure function of the plan parameters: callable anywhere (parent,
+        worker, resumed run) with the same answer.
+        """
+        if self.max_attempt is not None and attempt > self.max_attempt:
+            return None
+        key = (min(int(key[0]), int(key[1])),
+               max(int(key[0]), int(key[1])))
+        for kind in self.KINDS:
+            if key in self.pairs[kind]:
+                return kind
+            rate = self.rates[kind]
+            if rate and stable_fraction(self.seed, kind, *key) < rate:
+                return kind
+        return None
+
+    def record(self, kind: str) -> None:
+        """Count one observed fault (called by the supervising parent)."""
+        attr = {"crash": "crashes", "stall": "stalls",
+                "corrupt": "corrupted_results",
+                "error": "task_errors"}[kind]
+        setattr(self.injected, attr, getattr(self.injected, attr) + 1)

@@ -152,6 +152,46 @@ class Journal:
         """Result-file pair count as of the last completed unit pair."""
         return int(self.state.get("pair_watermark", 0))
 
+    # -- supervisor decisions ------------------------------------------------
+
+    def record_supervisor_event(self, kind: str, a: int, b: int,
+                                attempt: int) -> None:
+        """Journal one supervisor fault-handling decision.
+
+        Events are recorded in decision order so a resumed run can
+        replay the counters (retries, recycles, degradation) of the
+        work that completed before the crash — see
+        :meth:`replay_supervisor_events`.
+        """
+        events = self.state.setdefault("supervisor_events", [])
+        events.append([str(kind), int(a), int(b), int(attempt)])
+        self._changed()
+
+    def supervisor_events(self) -> List[Tuple[str, int, int, int]]:
+        """All journaled supervisor decisions, in decision order."""
+        return [(e[0], int(e[1]), int(e[2]), int(e[3]))
+                for e in self.state.get("supervisor_events", [])]
+
+    def replay_supervisor_events(self) -> List[Tuple[str, int, int, int]]:
+        """Prune events of unfinished pairs; return the events to replay.
+
+        A crash can land between journaling a decision for a unit pair
+        and journaling the pair's completion.  The resumed run redoes
+        that pair — and its deterministic faults re-fire — so replaying
+        the orphaned decisions too would double-count them.  Events
+        whose pair is not in the completed set are therefore dropped
+        (self-pair ``degrade``/``pool_recycle`` markers included: the
+        resumed run re-reaches that state on its own if it still holds).
+        """
+        events = self.state.get("supervisor_events", [])
+        kept = [e for e in events
+                if (min(int(e[1]), int(e[2])),
+                    max(int(e[1]), int(e[2]))) in self._pairs_done]
+        if len(kept) != len(events):
+            self.state["supervisor_events"] = kept
+            self._changed(force=True)
+        return [(e[0], int(e[1]), int(e[2]), int(e[3])) for e in kept]
+
     def mark_join_complete(self, total_pairs: int) -> None:
         """Record that the whole join finished with ``total_pairs`` results."""
         self.state["join_complete"] = {"pairs": int(total_pairs)}

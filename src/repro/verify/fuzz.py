@@ -44,6 +44,7 @@ DEFAULT_CONFIGS: Tuple[Tuple[str, Dict[str, object]], ...] = (
     ("ego_external", {"storage": "plain", "invariants": True}),
     ("ego_external", {"storage": "checksummed"}),
     ("ego_external", {"storage": "crash_resume"}),
+    ("ego_external", {"storage": "worker_faults", "workers": 2}),
     ("ego_rs_files", {}),
     ("grid_hash", {}),
     ("spatial_hash", {}),

@@ -48,7 +48,7 @@ from .canonical import PairSetDiff, canonical_pairs, diff_pairs
 OracleFn = Callable[..., np.ndarray]
 
 #: Storage wrappers the external pipeline can run under.
-STORAGE_MODES = ("plain", "checksummed", "crash_resume")
+STORAGE_MODES = ("plain", "checksummed", "crash_resume", "worker_faults")
 
 
 @dataclass
@@ -144,19 +144,24 @@ def _write_point_file(disk: SimulatedDisk, points: np.ndarray,
 
 @register("ego_external",
           options=("engine", "workers", "storage", "unit_records",
-                   "buffer_units", "crash_op", "invariants"),
+                   "buffer_units", "crash_op", "invariants",
+                   "fault_kind", "fault_seed"),
           external=True)
 def _ego_external(points, epsilon, ids=None, *, engine="vector",
                   workers=1, storage="plain", unit_records=24,
-                  buffer_units=4, crash_op=64,
-                  invariants=False) -> np.ndarray:
+                  buffer_units=4, crash_op=64, invariants=False,
+                  fault_kind="mixed", fault_seed=13) -> np.ndarray:
     """The full external pipeline under a chosen storage wrapper.
 
     ``storage`` picks the wrapper: ``plain`` (bare simulated disk),
-    ``checksummed`` (per-page CRC32 plus a bounded-retry policy) or
+    ``checksummed`` (per-page CRC32 plus a bounded-retry policy),
     ``crash_resume`` (checkpointed run killed by a scheduled crash at
     global operation ``crash_op``, then resumed; the canonical pairs
-    are read back from the durable pair file).
+    are read back from the durable pair file) or ``worker_faults``
+    (parallel join under a seeded
+    :class:`~repro.storage.faults.WorkerFaultPlan` injecting worker
+    crashes, corrupted task results and task errors that the supervisor
+    must absorb without changing the result).
     """
     if storage not in STORAGE_MODES:
         raise ValueError(
@@ -175,6 +180,19 @@ def _ego_external(points, epsilon, ids=None, *, engine="vector",
             report = ego_self_join_file(
                 pf, epsilon, checksums=True,
                 retry=RetryPolicy(max_attempts=3), **common)
+            return canonical_pairs(report.result)
+        if storage == "worker_faults":
+            from ..core.supervisor import SupervisorPolicy
+            from .workloads import worker_fault_plan
+            common["workers"] = max(2, workers)
+            report = ego_self_join_file(
+                pf, epsilon,
+                worker_fault_plan=worker_fault_plan(fault_kind,
+                                                    fault_seed),
+                supervisor_policy=SupervisorPolicy(
+                    task_timeout=5.0, max_task_retries=2, degrade=True,
+                    real_sleep=False),
+                **common)
             return canonical_pairs(report.result)
         with tempfile.TemporaryDirectory(prefix="ego-verify-") as ck:
             plan = FaultPlan(seed=0, crash_ops=[crash_op])

@@ -133,3 +133,38 @@ def generate_workload(kind: str, n: int, dimensions: int, epsilon: float,
                                 std=epsilon / 2, seed=rng)
     return Workload(kind=kind, seed=seed, epsilon=float(epsilon),
                     points=np.asarray(pts, dtype=np.float64))
+
+
+#: Named worker-fault regimes for the supervised parallel join.  Each
+#: maps to :class:`~repro.storage.faults.WorkerFaultPlan` kwargs; the
+#: seed is supplied by the caller so nightly fuzz varies the fault
+#: placement while every individual run stays replayable.
+WORKER_FAULT_KINDS: Tuple[str, ...] = ("crashy", "stally", "corrupting",
+                                       "flaky", "mixed")
+
+_WORKER_FAULT_PRESETS = {
+    # One fault kind at a time isolates each rung of the recovery
+    # ladder; "mixed" exercises their interleavings.
+    "crashy": {"crash_rate": 0.06},
+    "stally": {"stall_rate": 0.04, "stall_seconds": 30.0},
+    "corrupting": {"corrupt_rate": 0.15},
+    "flaky": {"error_rate": 0.25},
+    "mixed": {"crash_rate": 0.03, "corrupt_rate": 0.08,
+              "error_rate": 0.12},
+}
+
+
+def worker_fault_plan(kind: str, seed: int):
+    """A seeded :class:`~repro.storage.faults.WorkerFaultPlan` preset.
+
+    Every preset keeps ``max_attempt=0`` (faults fire on first attempts
+    only), so a correct supervisor always recovers and the joined pair
+    set must equal the fault-free run's — which is exactly the
+    differential check the fuzz driver applies.
+    """
+    from ..storage.faults import WorkerFaultPlan
+
+    if kind not in WORKER_FAULT_KINDS:
+        raise ValueError(f"unknown worker fault kind {kind!r}; "
+                         f"known: {WORKER_FAULT_KINDS}")
+    return WorkerFaultPlan(seed=seed, **_WORKER_FAULT_PRESETS[kind])

@@ -193,3 +193,54 @@ class TestJoinMetricFlag:
         cheby = int(capsys.readouterr().err.split("pairs:")[1]
                     .split()[0])
         assert cheby >= euclid
+
+
+@pytest.mark.faults
+class TestJoinWorkerFaults:
+    """Supervisor exit codes and --worker-faults parsing."""
+
+    def _pairs(self, capsys):
+        return int(capsys.readouterr().err.split("pairs:")[1].split()[0])
+
+    def test_recovers_and_matches_fault_free(self, data_file, capsys):
+        assert main(["join", data_file, "--epsilon", "0.2",
+                     "--count-only"]) == 0
+        baseline = self._pairs(capsys)
+        assert main(["join", data_file, "--epsilon", "0.2",
+                     "--count-only", "--workers", "2",
+                     "--worker-faults", "seed=1,error-rate=0.9",
+                     "--task-timeout", "5"]) == 0
+        captured = capsys.readouterr()
+        assert int(captured.err.split("pairs:")[1].split()[0]) == baseline
+        assert "tasks retried" in captured.err
+
+    def test_degraded_run_exits_3(self, data_file, capsys):
+        code = main(["join", data_file, "--epsilon", "0.2",
+                     "--count-only", "--workers", "2",
+                     "--worker-faults",
+                     "seed=1,crash-rate=1.0,max-attempt=none",
+                     "--task-timeout", "5"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "degraded: worker pool failed" in err
+        assert "results are complete and exact" in err
+
+    def test_no_degrade_exits_4(self, data_file, capsys):
+        code = main(["join", data_file, "--epsilon", "0.2",
+                     "--count-only", "--workers", "2", "--no-degrade",
+                     "--worker-faults",
+                     "seed=1,crash-rate=1.0,max-attempt=none",
+                     "--task-timeout", "5"])
+        assert code == 4
+        assert "unrecoverable worker fault" in capsys.readouterr().err
+
+    def test_bad_spec_exits_2(self, data_file, capsys):
+        assert main(["join", data_file, "--epsilon", "0.2",
+                     "--workers", "2",
+                     "--worker-faults", "frobnicate=1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_negative_task_retries_exits_2(self, data_file, capsys):
+        assert main(["join", data_file, "--epsilon", "0.2",
+                     "--task-retries", "-1"]) == 2
+        assert "error:" in capsys.readouterr().err
