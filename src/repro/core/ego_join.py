@@ -52,12 +52,16 @@ def _make_context(epsilon: float, result: JoinResult, minlen: int,
                   engine: str, order_dimensions: bool,
                   cpu: Optional[CPUCounters],
                   metric=None, split_strategy: str = "half",
-                  invariants: bool = False) -> JoinContext:
+                  invariants: bool = False,
+                  batch_points: Optional[int] = None,
+                  batch_leaves: Optional[int] = None) -> JoinContext:
     return JoinContext(epsilon=epsilon, result=result, minlen=minlen,
                        engine=engine, order_dimensions=order_dimensions,
                        cpu=cpu, metric=metric,
                        split_strategy=split_strategy,
-                       invariants=invariants)
+                       invariants=invariants,
+                       batch_points=batch_points,
+                       batch_leaves=batch_leaves)
 
 
 def ego_self_join(points: np.ndarray, epsilon: float,
@@ -68,7 +72,9 @@ def ego_self_join(points: np.ndarray, epsilon: float,
                   result: Optional[JoinResult] = None,
                   metric=None, sort_dims=None,
                   split_strategy: str = "half",
-                  invariants: bool = False) -> JoinResult:
+                  invariants: bool = False,
+                  batch_points: Optional[int] = None,
+                  batch_leaves: Optional[int] = None) -> JoinResult:
     """In-memory EGO similarity self-join.
 
     Returns every unordered pair of distinct points at distance at most
@@ -94,7 +100,8 @@ def ego_self_join(points: np.ndarray, epsilon: float,
     sorted_ids, sorted_pts = ego_sorted(pts, epsilon, ids)
     ctx = _make_context(epsilon, result, minlen, engine, order_dimensions,
                         cpu, metric=metric, split_strategy=split_strategy,
-                        invariants=invariants)
+                        invariants=invariants, batch_points=batch_points,
+                        batch_leaves=batch_leaves)
     seq = Sequence(sorted_ids, sorted_pts, epsilon)
     join_sequences(seq, seq, ctx)
     return result
@@ -109,7 +116,9 @@ def ego_join(points_r: np.ndarray, points_s: np.ndarray, epsilon: float,
              result: Optional[JoinResult] = None,
              metric=None, sort_dims=None,
              split_strategy: str = "half",
-             invariants: bool = False) -> JoinResult:
+             invariants: bool = False,
+             batch_points: Optional[int] = None,
+             batch_leaves: Optional[int] = None) -> JoinResult:
     """In-memory EGO similarity join of two point sets.
 
     Returns all pairs ``(r, s)`` with ``‖r − s‖ ≤ ε``; the first id of
@@ -135,7 +144,8 @@ def ego_join(points_r: np.ndarray, points_s: np.ndarray, epsilon: float,
     sid, spts = ego_sorted(s, epsilon, ids_s)
     ctx = _make_context(epsilon, result, minlen, engine, order_dimensions,
                         cpu, metric=metric, split_strategy=split_strategy,
-                        invariants=invariants)
+                        invariants=invariants, batch_points=batch_points,
+                        batch_leaves=batch_leaves)
     join_sequences(Sequence(rid, rpts, epsilon),
                    Sequence(sid, spts, epsilon), ctx)
     return result
@@ -237,6 +247,8 @@ def ego_join_files(file_r: PointFile, file_s: PointFile, epsilon: float,
                    materialize: bool = True,
                    metric=None,
                    invariants: bool = False,
+                   batch_points: Optional[int] = None,
+                   batch_leaves: Optional[int] = None,
                    trace=None, metrics=None,
                    profiler=None) -> ExternalRSJoinReport:
     """External EGO join of two point files (R ⋈ S).
@@ -292,6 +304,8 @@ def ego_join_files(file_r: PointFile, file_s: PointFile, epsilon: float,
         ctx = JoinContext(epsilon=epsilon, result=result, minlen=minlen,
                           engine=engine, order_dimensions=order_dimensions,
                           cpu=cpu, metric=metric, invariants=invariants,
+                          batch_points=batch_points,
+                          batch_leaves=batch_leaves,
                           trace=tracer, metrics=registry)
         join_before = (sorted_r_disk.simulated_time_s
                        + sorted_s_disk.simulated_time_s)
@@ -339,6 +353,8 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                        degrade: bool = True,
                        supervisor_policy: Optional[SupervisorPolicy] = None,
                        invariants: bool = False,
+                       batch_points: Optional[int] = None,
+                       batch_leaves: Optional[int] = None,
                        trace=None, metrics=None,
                        profiler=None) -> ExternalJoinReport:
     """External EGO self-join of a point file (the paper's full pipeline).
@@ -581,6 +597,8 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                           cpu=cpu, metric=metric,
                           grid_epsilon=grid_epsilon,
                           invariants=invariants,
+                          batch_points=batch_points,
+                          batch_leaves=batch_leaves,
                           trace=tracer, metrics=registry)
 
         pair_done = None

@@ -43,6 +43,48 @@ def ensure_finite(points: np.ndarray) -> np.ndarray:
     return pts
 
 
+#: Relative half-width of the boundary band (in units of the quotient)
+#: inside which ``floor(x / w)`` may have been rounded across a cell
+#: boundary and is re-derived in extended precision.  The quotient's
+#: rounding error is at most half an ulp, so a 4-ulp band is generous.
+_BOUNDARY_BAND = 4.0 * np.finfo(np.float64).eps
+
+
+def floor_cells(values: np.ndarray, width: float) -> np.ndarray:
+    """Rounding-safe ``floor(values / width)`` — the grid cell mapping.
+
+    ``np.floor(x / w)`` computes the floor of the *correctly rounded*
+    quotient, not of the real quotient: a coordinate sitting within half
+    an ulp below a cell boundary (common for translated, negative or
+    large-magnitude data, where boundary multiples ``k·w`` are not
+    representable) has its quotient rounded up across the integer and
+    lands one cell too high.  This is the single cell computation shared
+    by the sort key, the sequence splitter and the kernel's candidate
+    windows, so every layer sees identical cells.
+
+    Only quotients within a few ulps of an integer can be affected;
+    those are re-derived with extended-precision products so the result
+    matches the real-arithmetic floor for ``|x / w| < 2**52`` (on
+    platforms where ``np.longdouble`` is no wider than ``float64`` the
+    correction still enforces ``c·w ≤ x < (c+1)·w`` under float
+    products).  The mapping is monotone in ``x``.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    flat = np.ascontiguousarray(vals).reshape(-1)
+    ratio = flat / width
+    cells = np.floor(ratio)
+    near = np.abs(ratio - np.rint(ratio)) <= _BOUNDARY_BAND * np.abs(ratio)
+    if np.any(near):
+        idx = np.nonzero(near)[0]
+        wide = np.longdouble(width)
+        xs = flat[idx].astype(np.longdouble)
+        c = cells[idx].astype(np.longdouble)
+        c = np.where(c * wide > xs, c - 1.0, c)
+        c = np.where((c + 1.0) * wide <= xs, c + 1.0, c)
+        cells[idx] = c.astype(np.float64)
+    return cells.astype(np.int64).reshape(vals.shape)
+
+
 def grid_cells(points: np.ndarray, epsilon: float) -> np.ndarray:
     """Map points to their ε-grid cell coordinates.
 
@@ -56,11 +98,12 @@ def grid_cells(points: np.ndarray, epsilon: float) -> np.ndarray:
     Returns
     -------
     Integer array of the same leading shape with ``floor(p / ε)`` per
-    dimension.  Negative coordinates are handled by true floor division.
+    dimension.  Negative coordinates are handled by true floor division;
+    coordinates within rounding distance of a cell boundary are placed
+    by :func:`floor_cells`, so the cell is the real-arithmetic floor.
     """
     eps = validate_epsilon(epsilon)
-    pts = np.asarray(points, dtype=np.float64)
-    return np.floor(pts / eps).astype(np.int64)
+    return floor_cells(points, eps)
 
 
 def lex_less(a: np.ndarray, b: np.ndarray) -> bool:

@@ -174,13 +174,16 @@ def _init_unit_worker(epsilon: float, minlen: int, engine: str,
                       order_dimensions: bool, metric,
                       grid_epsilon: float, collect_distances: bool,
                       split_strategy: str,
-                      collect_metrics: bool = False) -> None:
+                      collect_metrics: bool = False,
+                      batch_points=None, batch_leaves=None) -> None:
     _UNIT_STATE.update(epsilon=epsilon, minlen=minlen, engine=engine,
                        order_dimensions=order_dimensions, metric=metric,
                        grid_epsilon=grid_epsilon,
                        collect_distances=collect_distances,
                        split_strategy=split_strategy,
-                       collect_metrics=collect_metrics)
+                       collect_metrics=collect_metrics,
+                       batch_points=batch_points,
+                       batch_leaves=batch_leaves)
 
 
 def _run_unit_pair(ids_a: np.ndarray, pts_a: np.ndarray,
@@ -208,6 +211,8 @@ def _run_unit_pair(ids_a: np.ndarray, pts_a: np.ndarray,
                       cpu=cpu, metric=_UNIT_STATE["metric"],
                       grid_epsilon=_UNIT_STATE["grid_epsilon"],
                       split_strategy=_UNIT_STATE["split_strategy"],
+                      batch_points=_UNIT_STATE.get("batch_points"),
+                      batch_leaves=_UNIT_STATE.get("batch_leaves"),
                       metrics=metrics)
     if ids_b is None:
         join_point_blocks(ids_a, pts_a, ids_a, pts_a, ctx,
@@ -281,7 +286,8 @@ class ParallelUnitJoiner:
             initargs=(ctx.epsilon, ctx.minlen, ctx.engine,
                       ctx.order_dimensions, metric, ctx.grid_epsilon,
                       ctx.result.collect_distances, ctx.split_strategy,
-                      bool(ctx.metrics.enabled)))
+                      bool(ctx.metrics.enabled),
+                      ctx.batch_points, ctx.batch_leaves))
         self._next_submit = 0
         self._next_emit = 0
         self._pending: Dict[int, Tuple[Future,

@@ -14,7 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .ego_order import grid_cells, validate_epsilon
+from .ego_order import floor_cells, grid_cells, validate_epsilon
 
 
 class Sequence:
@@ -124,8 +124,7 @@ class Sequence:
         active = self.active_dimension()
         if active is None or len(self) < 2:
             return mid
-        cells = np.floor(self.points[:, active]
-                         / self.epsilon).astype(np.int64)
+        cells = floor_cells(self.points[:, active], self.epsilon)
         c_mid = cells[min(mid, len(self) - 1)]
         left = int(np.searchsorted(cells, c_mid, side="left"))
         right = int(np.searchsorted(cells, c_mid, side="right"))

@@ -358,7 +358,8 @@ class SupervisedUnitJoiner:
         self._init_args = (ctx.epsilon, ctx.minlen, ctx.engine,
                            ctx.order_dimensions, metric, ctx.grid_epsilon,
                            ctx.result.collect_distances, ctx.split_strategy,
-                           bool(self._metrics.enabled))
+                           bool(self._metrics.enabled),
+                           ctx.batch_points, ctx.batch_leaves)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._degraded = False
         self._next_submit = 0
@@ -628,6 +629,7 @@ class SupervisedUnitJoiner:
             engine=ctx.engine, order_dimensions=ctx.order_dimensions,
             cpu=cpu, metric=ctx.metric, grid_epsilon=ctx.grid_epsilon,
             split_strategy=ctx.split_strategy, invariants=invariants,
+            batch_points=ctx.batch_points, batch_leaves=ctx.batch_leaves,
             metrics=ctx.metrics)
         ids_a, pts_a, ids_b, pts_b = task.payload
         if ids_b is None:

@@ -39,12 +39,14 @@ DEFAULT_CONFIGS: Tuple[Tuple[str, Dict[str, object]], ...] = (
     ("ego", {"engine": "scalar"}),
     ("ego", {"engine": "vector", "invariants": True}),
     ("ego", {"engine": "matmul"}),
+    ("ego", {"engine": "batched"}),
     ("ego", {"engine": "vector", "split_strategy": "boundary"}),
     ("ego_parallel", {"workers": 1}),
     ("ego_external", {"storage": "plain", "invariants": True}),
     ("ego_external", {"storage": "checksummed"}),
     ("ego_external", {"storage": "crash_resume"}),
     ("ego_external", {"storage": "worker_faults", "workers": 2}),
+    ("ego_external", {"engine": "batched", "storage": "crash_resume"}),
     ("ego_rs_files", {}),
     ("grid_hash", {}),
     ("spatial_hash", {}),
@@ -289,7 +291,7 @@ def run_fuzz(seed: int = 0, budget_s: float = 60.0,
 
 def acceptance_matrix(points: np.ndarray, epsilon: float,
                       engines: Sequence[str] = ("scalar", "vector",
-                                                "matmul"),
+                                                "matmul", "batched"),
                       workers: Sequence[int] = (1, 4),
                       storages: Sequence[str] = ("plain", "checksummed",
                                                  "crash_resume")):

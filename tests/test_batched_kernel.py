@@ -1,0 +1,493 @@
+"""Tests for the batched cross-leaf GEMM engine and the precision
+bugfixes that shipped with it.
+
+Three areas:
+
+* ``floor_cells`` — the rounding-safe grid cell mapping.  The hardcoded
+  instances below were found by random search and verified with exact
+  rational arithmetic; on each of them the pre-fix ``np.floor(x / w)``
+  places the coordinate one cell too high, so these tests fail on the
+  raw-floor code.
+* the centered Gram expansion — on translated data the pre-fix slack
+  (computed from raw norms) exceeds ε² and forces every windowed
+  candidate through exact re-verification; the centered kernel keeps
+  the re-verified count proportional to the accepts.
+* the ``"batched"`` engine — :class:`LeafBatch` /
+  :func:`pairs_within_batched` units, pair-stream identity with the
+  per-leaf engines, knob plumbing, oracle/metamorphic sweeps and the
+  batch metrics.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distance import natural_ordering, pairs_within_scalar
+from repro.core.ego_join import ego_join, ego_self_join
+from repro.core.ego_order import floor_cells, grid_cells
+from repro.core.kernels import (DEFAULT_BATCH_LEAVES, DEFAULT_BATCH_POINTS,
+                                LeafBatch, ScratchBuffers, candidate_windows,
+                                pairs_within_batched, pairs_within_matmul,
+                                select_engine)
+from repro.core.metrics import get_metric
+from repro.core.result import JoinResult
+from repro.core.sequence import Sequence
+from repro.core.sequence_join import JoinContext, join_sequences
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.stats import CPUCounters
+from repro.verify import run_impl, run_relations
+
+from conftest import brute_truth
+
+#: ``(coordinate, cell width, real-arithmetic floor(coordinate / width))``
+#: triples on which ``floor(fl(x / w))`` lands one cell high because the
+#: correctly rounded quotient crosses the integer.  Verified with
+#: ``Fraction`` arithmetic (re-checked in the test itself).
+RAW_FLOOR_REGRESSIONS = [
+    (36421541.01575448, 0.12019024292655811, 303032426),
+    (1417445.7668127185, 0.001433268844161744, 988960146),
+    (308232.84540794283, 0.0012453101530902563, 247514921),
+    (-14787.982199769922, 9.8455451938731e-05, -150199730),
+    (770162.9426907644, 0.001407584380744777, 547152236),
+    (-116361.55700563421, 0.00019174222567174692, -606864538),
+]
+
+#: The extended-precision correction is exact only where ``longdouble``
+#: is wider than ``float64`` (x86 Linux: 63-bit mantissa).
+LONGDOUBLE_IS_WIDER = np.finfo(np.longdouble).nmant > 52
+
+
+def exact_floor(x: float, w: float) -> int:
+    """Real-arithmetic ``floor(x / w)`` via rational arithmetic."""
+    return int((Fraction(x) / Fraction(w)).__floor__())
+
+
+def stream_pairs(result: JoinResult):
+    """The raw (uncanonicalised) pair stream as a list of tuples."""
+    ia, ib = result.pairs()
+    return list(zip(ia.tolist(), ib.tolist()))
+
+
+class TestFloorCellsRegression:
+    @pytest.mark.parametrize("x,w,truth", RAW_FLOOR_REGRESSIONS)
+    def test_known_instances(self, x, w, truth):
+        assert exact_floor(x, w) == truth  # the instance is as documented
+        raw = int(np.floor(np.float64(x) / np.float64(w)))
+        assert raw == truth + 1, "instance no longer exercises the bug"
+        if LONGDOUBLE_IS_WIDER:
+            assert int(floor_cells(np.array([x]), w)[0]) == truth
+
+    @pytest.mark.skipif(not LONGDOUBLE_IS_WIDER,
+                        reason="longdouble no wider than float64")
+    def test_matches_rational_floor_near_boundaries(self):
+        """On boundary-adjacent data the fixed mapping is the real floor."""
+        rng = np.random.default_rng(7)
+        for _ in range(40):
+            w = float(rng.uniform(1e-4, 0.5))
+            k = rng.integers(-10**6, 10**6, size=64)
+            # Exact cell-boundary multiples, then the float64 neighbours
+            # of each — the region where raw floor mis-rounds.
+            bounds = np.array([float(Fraction(int(ki)) * Fraction(w))
+                               for ki in k])
+            xs = np.concatenate([bounds,
+                                 np.nextafter(bounds, np.inf),
+                                 np.nextafter(bounds, -np.inf)])
+            got = floor_cells(xs, w)
+            for x, c in zip(xs.tolist(), got.tolist()):
+                assert c == exact_floor(x, w)
+
+    def test_monotone_in_x(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            w = float(rng.uniform(1e-4, 1.0))
+            xs = np.sort(rng.normal(scale=1e6, size=200))
+            cells = floor_cells(xs, w)
+            assert (np.diff(cells) >= 0).all()
+
+    def test_cell_brackets_coordinate(self):
+        """``c·w ≤ x < (c+1)·w`` in extended precision, any platform."""
+        rng = np.random.default_rng(3)
+        w = 0.001433268844161744
+        xs = rng.uniform(-1e6, 1e6, size=500)
+        c = floor_cells(xs, w).astype(np.longdouble)
+        wide = np.longdouble(w)
+        assert (c * wide <= xs.astype(np.longdouble)).all()
+        assert ((c + 1.0) * wide > xs.astype(np.longdouble)).all()
+
+    def test_shape_and_negative_handling(self):
+        pts = np.array([[-0.3, 0.0], [0.3, 1.0]])
+        cells = floor_cells(pts, 0.25)
+        assert cells.shape == pts.shape
+        assert cells.tolist() == [[-2, 0], [1, 4]]
+        assert grid_cells(pts, 0.25).tolist() == cells.tolist()
+
+    def test_windows_sound_on_translated_boundary_data(self):
+        """Candidate windows drop no true mate on cell-boundary data far
+        from the origin (the pre-fix failure mode)."""
+        rng = np.random.default_rng(23)
+        eps = 0.001433268844161744
+        offsets = (-5e6, 0.0, 1e8)
+        for off in offsets:
+            # Coordinates hugging cell boundaries around the offset.
+            k = np.rint(off / eps) + rng.integers(0, 40, size=120)
+            base = k * eps
+            jitter = rng.uniform(-0.6 * eps, 0.6 * eps, size=(120, 2))
+            pts = np.stack([base, base], axis=1) + jitter
+            ids = np.argsort(floor_cells(pts[:, 0], eps), kind="stable")
+            pts = pts[ids]
+            lo, hi = candidate_windows(pts, pts, 0, eps)
+            truth = brute_truth(pts, eps)
+            for i, j in truth:
+                assert lo[i] <= j < hi[i], (off, i, j)
+                assert lo[j] <= i < hi[j], (off, i, j)
+
+
+class TestCenteredSlackRegression:
+    def _cluster(self, offset, n=150, d=4, eps=0.05, seed=5):
+        rng = np.random.default_rng(seed)
+        return rng.uniform(0, 1, size=(n, d)) + offset, eps
+
+    @pytest.mark.parametrize("offset", [0.0, 1e6, -5e6, 1e8])
+    def test_matches_scalar_on_translated_clusters(self, offset):
+        pts, eps = self._cluster(offset)
+        order = natural_ordering(pts.shape[1])
+        sa, sb = pairs_within_scalar(pts, pts, eps * eps, order,
+                                     upper_triangle=True)
+        ma, mb = pairs_within_matmul(pts, pts, eps * eps, order,
+                                     upper_triangle=True)
+        assert set(zip(sa.tolist(), sb.tolist())) \
+            == set(zip(ma.tolist(), mb.tolist()))
+
+    @pytest.mark.parametrize("offset", [1e6, 1e8])
+    def test_reverification_stays_bounded_far_from_origin(self, offset):
+        """Pre-fix, the raw-norm slack at these offsets exceeds ε², so
+        *every* candidate is re-verified (n·(n−1)/2 here); centered, the
+        re-verified count tracks the accepts."""
+        pts, eps = self._cluster(offset)
+        order = natural_ordering(pts.shape[1])
+        reg = MetricsRegistry()
+        ia, _ib = pairs_within_matmul(pts, pts, eps * eps, order,
+                                      upper_triangle=True, metrics=reg)
+        reverified = reg.get("ego_gemm_reverified_total").value
+        n = len(pts)
+        all_candidates = n * (n - 1) // 2
+        assert reverified <= 4 * max(len(ia), 1) + 64
+        assert reverified < all_candidates // 4
+
+    def test_batched_reverification_stays_bounded(self, rng):
+        pts = rng.uniform(0, 1, size=(200, 3)) + 1e8
+        eps = 0.05
+        batch = LeafBatch()
+        for s in range(0, len(pts), 50):
+            blk = pts[s:s + 50]
+            batch.add(blk, blk, None, True)
+        reg = MetricsRegistry()
+        results = pairs_within_batched(batch, eps * eps, metrics=reg)
+        accepts = sum(len(ia) for ia, _ in results)
+        reverified = reg.get("ego_gemm_reverified_total").value
+        assert reverified <= 4 * max(accepts, 1) + 64
+
+
+class TestScratchBuffers:
+    def test_invalid_slot_rejected(self):
+        scratch = ScratchBuffers(8)
+        with pytest.raises(ValueError):
+            scratch.norms(np.ones((2, 2)), "c")
+
+    def test_slots_never_alias_under_interleaved_growth(self, rng):
+        scratch = ScratchBuffers(4)
+        a_small = rng.random((4, 3))
+        b_small = rng.random((4, 3))
+        na = scratch.norms(a_small, "a")
+        nb = scratch.norms(b_small, "b")
+        assert na.base is not nb.base
+        # Growing "a" must not move or clobber the live "b" view.
+        b_expect = np.einsum("ij,ij->i", b_small, b_small)
+        a_big = rng.random((64, 3))
+        na2 = scratch.norms(a_big, "a")
+        np.testing.assert_array_equal(nb, b_expect)
+        assert na2.base is not nb.base
+        # ...and vice versa, after "b" grows past "a".
+        b_big = rng.random((128, 3))
+        nb2 = scratch.norms(b_big, "b")
+        np.testing.assert_allclose(
+            na2, np.einsum("ij,ij->i", a_big, a_big))
+        assert nb2.base is not na2.base
+
+    def test_stale_view_keeps_old_values(self, rng):
+        scratch = ScratchBuffers(4)
+        first = rng.random((4, 2))
+        view = scratch.norms(first, "a")
+        kept = view.copy()
+        scratch.norms(rng.random((64, 2)), "a")  # grows, reallocates
+        np.testing.assert_array_equal(view, kept)
+
+
+class TestLeafBatch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeafBatch(max_points=0)
+        with pytest.raises(ValueError):
+            LeafBatch(max_leaves=0)
+
+    def test_fills_by_points_or_leaves(self):
+        batch = LeafBatch(max_points=10, max_leaves=100)
+        blk = np.zeros((3, 2))
+        assert not batch.full
+        batch.add(blk, blk, None, False)
+        assert not batch.full and len(batch) == 1
+        batch.add(blk, blk, None, True)
+        assert batch.full  # 12 stacked rows >= 10
+        by_leaves = LeafBatch(max_points=10**9, max_leaves=2)
+        by_leaves.add(blk, blk, None, False)
+        by_leaves.add(blk, blk, None, False)
+        assert by_leaves.full
+
+    def test_clear_resets(self):
+        batch = LeafBatch()
+        blk = np.zeros((2, 2))
+        batch.add(blk, blk, None, False, payload="x")
+        batch.clear()
+        assert len(batch) == 0 and batch.points == 0 \
+            and not batch.payloads
+
+    def test_empty_batch_evaluates_to_nothing(self):
+        assert pairs_within_batched(LeafBatch(), 0.1) == []
+
+
+class TestBatchedKernel:
+    def _random_batch(self, rng, entries, d, eps):
+        """A batch of mixed self/cross leaf pairs plus matmul references."""
+        batch = LeafBatch()
+        refs = []
+        for e in range(entries):
+            na = int(rng.integers(0, 40))
+            if e % 2 == 0:
+                a = b = rng.random((na, d))
+                upper = True
+            else:
+                a = rng.random((na, d))
+                b = rng.random((int(rng.integers(0, 40)), d))
+                upper = False
+            windows = None
+            if e % 3 == 0 and len(a) and len(b):
+                order_b = np.argsort(floor_cells(b[:, 0], eps),
+                                     kind="stable")
+                b = b[order_b]
+                if upper:
+                    a = b
+                windows = candidate_windows(a, b, 0, eps)
+            batch.add(a, b, windows, upper)
+            refs.append(pairs_within_matmul(
+                a, b, eps * eps, natural_ordering(d),
+                upper_triangle=upper, return_sq_distances=True,
+                windows=windows))
+        return batch, refs
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=6),
+           st.floats(min_value=0.05, max_value=0.8),
+           st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_matmul_per_entry(self, entries, d, eps, seed):
+        rng = np.random.default_rng(seed)
+        batch, refs = self._random_batch(rng, entries, d, eps)
+        results = pairs_within_batched(batch, eps * eps,
+                                       return_sq_distances=True)
+        assert len(results) == entries
+        for (ia, ib, dist), (ra, rb, rd) in zip(results, refs):
+            np.testing.assert_array_equal(ia, ra)
+            np.testing.assert_array_equal(ib, rb)
+            np.testing.assert_array_equal(dist, rd)
+
+    def test_blocking_invariance(self, rng):
+        batch, refs = self._random_batch(rng, 8, 4, 0.4)
+        for block in (1, 7, 64, 2048):
+            got = pairs_within_batched(batch, 0.16,
+                                       scratch=ScratchBuffers(block))
+            for (ia, ib), (ra, rb, _rd) in zip(got, refs):
+                np.testing.assert_array_equal(ia, ra)
+                np.testing.assert_array_equal(ib, rb)
+
+    def test_counters_charge_windowed_candidates(self, rng):
+        a = rng.random((10, 3))
+        batch = LeafBatch()
+        batch.add(a, a, None, True)
+        b = rng.random((6, 3))
+        batch.add(a, b, None, False)
+        c = CPUCounters()
+        pairs_within_batched(batch, 0.1, counters=c)
+        expected = 10 * 9 // 2 + 10 * 6
+        assert c.distance_calculations == expected
+        assert c.dimension_evaluations == expected * 3
+
+    def test_entries_with_empty_blocks(self):
+        batch = LeafBatch()
+        batch.add(np.empty((0, 2)), np.ones((3, 2)), None, False)
+        batch.add(np.zeros((2, 2)), np.zeros((2, 2)) + 1e-9, None, False)
+        results = pairs_within_batched(batch, 0.5)
+        assert len(results[0][0]) == 0
+        assert len(results[1][0]) == 4
+
+
+class TestBatchedEngineSelection:
+    def test_explicit_batched_passes_through(self):
+        assert select_engine("batched", 8, 8, 2) == "batched"
+        assert select_engine("batched", 512, 512, 32) == "batched"
+
+    def test_batched_non_euclidean_falls_back(self):
+        m = get_metric("manhattan")
+        assert select_engine("batched", 8, 8, 2, m) == "vector"
+
+    def test_auto_small_leaf_batches_when_batching(self):
+        assert select_engine("auto", 8, 8, 4, batching=True) == "batched"
+        assert select_engine("auto", 8, 8, 4, batching=False) == "vector"
+
+    def test_auto_large_leaf_still_matmul(self):
+        assert select_engine("auto", 256, 256, 16, batching=True) \
+            == "matmul"
+
+    def test_context_accepts_batched_and_knobs(self):
+        ctx = JoinContext(epsilon=0.1, result=JoinResult(),
+                          engine="batched")
+        assert ctx.engine == "batched"
+        assert ctx.batch_points == DEFAULT_BATCH_POINTS
+        assert ctx.batch_leaves == DEFAULT_BATCH_LEAVES
+        ctx = JoinContext(epsilon=0.1, result=JoinResult(),
+                          batch_points=7, batch_leaves=2)
+        assert ctx.batch.max_points == 7
+        assert ctx.batch.max_leaves == 2
+
+    @pytest.mark.parametrize("bad", [{"batch_points": 0},
+                                     {"batch_leaves": -1}])
+    def test_context_rejects_bad_knobs(self, bad):
+        with pytest.raises(ValueError):
+            JoinContext(epsilon=0.1, result=JoinResult(), **bad)
+
+
+class TestBatchedEngineEndToEnd:
+    @pytest.mark.parametrize("offset", [0.0, -5e6, 1e8])
+    def test_stream_identical_to_vector(self, rng, offset):
+        pts = rng.random((300, 4)) + offset
+        eps = 0.15
+        ref = ego_self_join(pts, eps, engine="vector")
+        got = ego_self_join(pts, eps, engine="batched")
+        assert stream_pairs(got) == stream_pairs(ref)
+
+    def test_stream_identical_with_tiny_batches(self, rng):
+        """Flush boundaries (points- and leaves-triggered) don't reorder
+        or drop pairs."""
+        pts = rng.random((250, 3))
+        eps = 0.2
+        ref = stream_pairs(ego_self_join(pts, eps, engine="vector"))
+        for bp, bl in ((64, 3), (1, 1), (10**6, 10**6)):
+            got = ego_self_join(pts, eps, engine="batched",
+                                batch_points=bp, batch_leaves=bl)
+            assert stream_pairs(got) == ref
+
+    def test_auto_mixes_batched_and_matmul(self, rng):
+        """auto drains the pending batch before a matmul leaf emits, so
+        the mixed stream still equals the vector stream."""
+        pts = rng.random((400, 6))
+        eps = 0.2
+        ref = ego_self_join(pts, eps, engine="vector", minlen=48)
+        got = ego_self_join(pts, eps, engine="auto", minlen=48)
+        assert stream_pairs(got) == stream_pairs(ref)
+
+    def test_rs_join_matches_vector(self, rng):
+        r = rng.random((180, 3))
+        s = rng.random((150, 3))
+        ref = ego_join(r, s, 0.2, engine="vector")
+        got = ego_join(r, s, 0.2, engine="batched")
+        assert stream_pairs(got) == stream_pairs(ref)
+
+    def test_collect_distances_matches_matmul(self, rng):
+        pts = rng.random((200, 4))
+        res_b = JoinResult(collect_distances=True)
+        res_m = JoinResult(collect_distances=True)
+        ego_self_join(pts, 0.25, engine="batched", result=res_b)
+        ego_self_join(pts, 0.25, engine="matmul", result=res_m)
+
+        def dist_map(res):
+            ia, ib = res.pairs()
+            keys = [(min(i, j), max(i, j))
+                    for i, j in zip(ia.tolist(), ib.tolist())]
+            return dict(zip(keys, res.distances().tolist()))
+
+        assert dist_map(res_b) == dist_map(res_m)
+
+    def test_non_euclidean_falls_back(self, rng):
+        pts = rng.random((120, 3))
+        ref = ego_self_join(pts, 0.2, engine="vector",
+                            metric="manhattan").canonical_pair_set()
+        got = ego_self_join(pts, 0.2, engine="batched",
+                            metric="manhattan").canonical_pair_set()
+        assert got == ref
+
+    def test_invariants_monitor_sees_batched_leaves(self, rng):
+        pts = rng.random((150, 3))
+        ref = ego_self_join(pts, 0.2, engine="vector").canonical_pair_set()
+        got = ego_self_join(pts, 0.2, engine="batched",
+                            invariants=True).canonical_pair_set()
+        assert got == ref
+
+    def test_flush_on_return_covers_partial_batches(self, rng):
+        """A batch smaller than both knobs is still flushed by
+        join_sequences before it returns."""
+        pts = rng.random((40, 2))
+        eps = 0.3
+        ctx = JoinContext(epsilon=eps, result=JoinResult(),
+                          engine="batched", batch_points=10**6,
+                          batch_leaves=10**6)
+        from repro.core.ego_order import ego_sorted
+        ids, spts = ego_sorted(pts, eps)
+        seq = Sequence(ids, spts, eps)
+        join_sequences(seq, seq, ctx)
+        assert len(ctx.batch) == 0
+        got = {(min(i, j), max(i, j))
+               for i, j in stream_pairs(ctx.result)}
+        assert got == brute_truth(pts, eps)
+
+    def test_batch_metrics_recorded(self, rng):
+        pts = rng.random((300, 3))
+        reg = MetricsRegistry()
+        res = JoinResult()
+        ctx = JoinContext(epsilon=0.15, result=res, engine="batched",
+                          metrics=reg)
+        from repro.core.ego_order import ego_sorted
+        ids, spts = ego_sorted(pts, 0.15)
+        seq = Sequence(ids, spts, 0.15)
+        join_sequences(seq, seq, ctx)
+        assert reg.get("ego_kernel_batches_total").value > 0
+        assert reg.get("ego_kernel_batch_leaves").count > 0
+        assert reg.get("ego_kernel_batch_points").count > 0
+        assert reg.get("ego_gemm_tiles_total").value > 0
+        assert reg.get("ego_leaf_joins_total").value_of("batched") > 0
+
+
+class TestBatchedVerification:
+    def test_oracle_row_matches_brute(self, rng):
+        pts = rng.random((120, 3))
+        ref = run_impl("brute", pts, 0.2)
+        got = run_impl("ego", pts, 0.2, engine="batched")
+        np.testing.assert_array_equal(got, ref)
+
+    def test_metamorphic_relations_hold(self, rng):
+        pts = rng.random((80, 3))
+        for report in run_relations("ego", pts, 0.25, seed=4,
+                                    engine="batched"):
+            assert report.ok, report.describe()
+
+    @pytest.mark.parametrize("storage", ["plain", "crash_resume",
+                                         "worker_faults"])
+    def test_external_pipeline_batched(self, rng, storage):
+        pts = rng.random((90, 3))
+        ref = run_impl("ego", pts, 0.2)
+        workers = 2 if storage == "worker_faults" else 1
+        got = run_impl("ego_external", pts, 0.2, engine="batched",
+                       storage=storage, workers=workers)
+        np.testing.assert_array_equal(got, ref)

@@ -198,7 +198,7 @@ class TestEnginesEndToEnd:
     @given(st.integers(min_value=0, max_value=120),
            st.integers(min_value=1, max_value=5),
            st.floats(min_value=0.05, max_value=0.6),
-           st.sampled_from(["matmul", "auto"]),
+           st.sampled_from(["matmul", "batched", "auto"]),
            st.sampled_from(METRICS),
            st.integers(min_value=1, max_value=64),
            st.integers(0, 10**6))
@@ -218,7 +218,7 @@ class TestEnginesEndToEnd:
         pts = np.vstack([base, base[:10]])  # exact duplicates
         eps = 0.2
         ref = brute_truth(pts, eps)
-        for eng in ("matmul", "auto"):
+        for eng in ("matmul", "batched", "auto"):
             got = ego_self_join(pts, eps, engine=eng,
                                 minlen=16).canonical_pair_set()
             assert got == ref

@@ -240,8 +240,8 @@ class TestAcceptanceMatrix:
         ok, digests = acceptance_matrix(wl.points, 0.2, workers=(1, 4))
         assert ok, "\n".join(f"{d[:16]}  {label}"
                              for label, d in sorted(digests.items()))
-        # Reference + 3 engines × 2 worker counts × 3 storage modes.
-        assert len(digests) == 1 + 3 * 2 * 3
+        # Reference + 4 engines × 2 worker counts × 3 storage modes.
+        assert len(digests) == 1 + 4 * 2 * 3
         assert len(set(digests.values())) == 1
 
 
