@@ -1,0 +1,189 @@
+"""Experiment SHARD-1 — sharded external join vs the single-disk runs.
+
+Figure 9/10 regime on clustered data: the sorted file is partitioned
+into shards joined in separate processes (``repro.core.shard``), and the
+adaptive planner is compared against the uniform one and the PR 2
+single-disk baselines (serial, and ``workers=k`` supervised pool).
+
+Two kinds of numbers per workload:
+
+* **deterministic** — the planner's predicted per-shard candidate
+  volume.  ``max_cost`` of the adaptive plan must not exceed the
+  uniform plan's on skewed/clustered data (that imbalance is exactly
+  what a straggler shard costs); equality is expected on uniform data.
+  These are pure functions of the data and assert cleanly on any host.
+* **measured** — wall-clock seconds per mode, recorded for charting
+  but not asserted (single-core CI hosts make shard processes pure
+  overhead, exactly like ``workers=k`` in ``bench_kernels``).
+
+Every sharded run is digest-checked against the serial pair stream —
+the byte-identity contract is re-verified on benchmark data sizes, not
+just unit-test sizes.
+
+Usage: ``python benchmarks/bench_shards.py [--tiny]`` appends one
+record to ``results/BENCH_shards.json`` (record_kernels.py style).
+"""
+
+import argparse
+import json
+import os
+import time
+import zlib
+
+import numpy as np
+
+from repro.core.ego_join import ego_self_join_file
+from repro.data.loader import make_point_file
+from repro.data.synthetic import cad_like
+from repro.verify.workloads import generate_workload
+
+from _harness import RESULTS_DIR, BudgetedSetup, emit
+
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_shards.json")
+
+EPSILON = 0.15
+SHARDS = 4
+
+
+def pair_digest(result) -> int:
+    a, b = result.pairs()
+    h = zlib.crc32(np.ascontiguousarray(a).tobytes())
+    return zlib.crc32(np.ascontiguousarray(b).tobytes(), h)
+
+
+def datasets(tiny: bool):
+    n = 1200 if tiny else 6000
+    clustered = cad_like(n, seed=300 + n)[:, :8]
+    skewed = generate_workload("skewed", n, 8, EPSILON, seed=41).points
+    rng = np.random.default_rng(17)
+    uniform = rng.random((n, 8))
+    return [("clustered", clustered), ("skewed", skewed),
+            ("uniform", uniform)]
+
+
+def run_modes(points: np.ndarray, epsilon: float) -> dict:
+    """One workload through every mode; returns the comparison row."""
+    setup = BudgetedSetup.for_dataset(len(points), points.shape[1])
+
+    def run(**kw):
+        disk, pf = make_point_file(points)
+        try:
+            t0 = time.perf_counter()
+            report = ego_self_join_file(pf, epsilon,
+                                        unit_bytes=setup.unit_bytes,
+                                        buffer_units=setup.buffer_units,
+                                        **kw)
+            return report, time.perf_counter() - t0
+        finally:
+            disk.close()
+
+    serial, t_serial = run()
+    workers, t_workers = run(workers=SHARDS)
+    uniform, t_uniform = run(shards=SHARDS, shard_policy="uniform")
+    adaptive, t_adaptive = run(shards=SHARDS, shard_policy="adaptive")
+
+    ref = pair_digest(serial.result)
+    for name, rep in (("workers", workers), ("shards-uniform", uniform),
+                      ("shards-adaptive", adaptive)):
+        if pair_digest(rep.result) != ref:
+            raise AssertionError(f"{name} diverged from the serial join")
+
+    def imbalance(rep):
+        costs = [s.cost for s in rep.shards]
+        total = sum(costs)
+        return (max(costs) * len(costs) / total) if total else 1.0
+
+    return {
+        "n": len(points),
+        "pairs": serial.result.count,
+        "serial_s": round(t_serial, 3),
+        "workers_s": round(t_workers, 3),
+        "uniform_s": round(t_uniform, 3),
+        "adaptive_s": round(t_adaptive, 3),
+        "uniform_max_cost": max(s.cost for s in uniform.shards),
+        "adaptive_max_cost": max(s.cost for s in adaptive.shards),
+        "uniform_imbalance": round(imbalance(uniform), 3),
+        "adaptive_imbalance": round(imbalance(adaptive), 3),
+        "adaptive_shards": len(adaptive.shards),
+    }
+
+
+def run_suite(tiny: bool = False):
+    rows = []
+    for kind, points in datasets(tiny):
+        row = {"workload": kind}
+        row.update(run_modes(points, EPSILON))
+        rows.append(row)
+    return rows
+
+
+def append_record(rows, mode, path=JSON_PATH):
+    history = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            history = json.load(fh)
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": mode,
+        "cores": os.cpu_count(),
+        "shards": SHARDS,
+        "epsilon": EPSILON,
+        "rows": rows,
+    })
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def check_rows(rows):
+    """The deterministic planner claims this benchmark exists to test."""
+    by_kind = {r["workload"]: r for r in rows}
+    for kind in ("clustered", "skewed"):
+        r = by_kind[kind]
+        assert r["adaptive_max_cost"] <= r["uniform_max_cost"], (
+            f"adaptive plan lost to uniform on {kind}: "
+            f"{r['adaptive_max_cost']} > {r['uniform_max_cost']}")
+    # On skewed data the rebalance must be material, not a tie.
+    skew = by_kind["skewed"]
+    assert skew["adaptive_max_cost"] < skew["uniform_max_cost"], (
+        "adaptive plan did not improve the skewed workload")
+
+
+def test_shards(benchmark):
+    rows = run_suite(tiny=True)
+    emit("bench_shards",
+         "Sharded join: predicted shard cost and wall time by policy "
+         f"(shards={SHARDS}, eps={EPSILON})",
+         rows)
+    check_rows(rows)
+    pts = datasets(tiny=True)[1][1]
+    benchmark(lambda: run_modes(pts, EPSILON))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke configuration (small datasets)")
+    args = parser.parse_args()
+    rows = run_suite(tiny=args.tiny)
+    emit("bench_shards",
+         "Sharded join: predicted shard cost and wall time by policy "
+         f"(shards={SHARDS}, eps={EPSILON})",
+         rows)
+    check_rows(rows)
+    path = append_record(rows, "tiny" if args.tiny else "full")
+    for row in rows:
+        verdict = ("rebalanced" if row["adaptive_max_cost"]
+                   < row["uniform_max_cost"] else "tied with")
+        print(f"adaptive {verdict} uniform on {row['workload']}: "
+              f"max cost {row['adaptive_max_cost']} vs "
+              f"{row['uniform_max_cost']} "
+              f"(imbalance {row['adaptive_imbalance']} vs "
+              f"{row['uniform_imbalance']})")
+    print(f"appended to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from ..storage.integrity import RetryPolicy, make_robust_disk
 from ..storage.journal import Journal
 from ..storage.pagefile import PointFile
 from ..storage.pairfile import PairFile, SpillingCollector
+from ..storage.backend import get_backend
 from ..storage.stats import CPUCounters, IOCounters, IOScope
 from .ego_order import (ego_sorted, ensure_finite, grid_cells,
                         validate_epsilon)
@@ -44,6 +45,7 @@ from .result import JoinResult
 from .scheduler import EGOScheduler, ScheduleStats
 from .sequence import Sequence
 from .sequence_join import DEFAULT_MINLEN, JoinContext, join_sequences
+from .shard import SHARD_POLICIES, ShardStats, run_sharded_join
 from .supervisor import (SupervisedUnitJoiner, SupervisorPolicy,
                          SupervisorStats, replay_stats)
 
@@ -164,7 +166,9 @@ class ExternalJoinReport:
     ``supervisor`` is the fault-handling ledger of a parallel run
     (:class:`~repro.core.supervisor.SupervisorStats`; cumulative across
     crash/resume), and ``worker_faults`` the injection log of a
-    :class:`~repro.storage.faults.WorkerFaultPlan`.
+    :class:`~repro.storage.faults.WorkerFaultPlan`.  ``shards`` carries
+    the per-shard execution accounting of a sharded run
+    (:class:`~repro.core.shard.ShardStats`; ``None`` otherwise).
     """
 
     result: JoinResult
@@ -181,6 +185,7 @@ class ExternalJoinReport:
     total_pairs: Optional[int] = None
     supervisor: Optional["SupervisorStats"] = None
     worker_faults: Optional["WorkerFaultLog"] = None
+    shards: Optional[List["ShardStats"]] = None
 
 
 def _record_io_metrics(registry, io: IOCounters,
@@ -347,6 +352,9 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
                        checkpoint_dir: Optional[str] = None,
                        resume: bool = False,
                        workers: int = 1,
+                       shards: Optional[int] = None,
+                       shard_policy: str = "adaptive",
+                       backend: str = "simulated",
                        worker_fault_plan: Optional[WorkerFaultPlan] = None,
                        task_timeout: Optional[float] = None,
                        task_retries: int = 2,
@@ -412,6 +420,22 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
         schedule order, so the result stream — including a
         checkpointed run's durable pair file and journal — is
         byte-identical to the serial run.
+    shards, shard_policy, backend:
+        Sharded execution (:mod:`repro.core.shard`).  With ``shards``
+        set, the sorted file is partitioned into contiguous ranges of
+        I/O units plus their ε-overlap fringe; each shard joins its
+        unit pairs in its own worker process against a private disk of
+        the chosen storage ``backend`` (``simulated`` / ``file`` /
+        ``memory``) and buffer pool, and the pair streams are merged
+        in global schedule order — output, journal and counters stay
+        byte-identical to the serial join.  ``shard_policy`` selects
+        the partitioner: ``uniform`` (equal unit counts) or
+        ``adaptive`` (cost-balanced with recursive re-splitting of
+        heavy ε-cells; the default, and the one that wins on skewed
+        data).  Sharding supersedes ``workers``: the shard processes
+        are the join parallelism.  Fault tolerance (retry, pool
+        recycling, degrade-to-inline) follows the same policy knobs as
+        the parallel join, applied per shard.
     worker_fault_plan, task_timeout, task_retries, degrade,
     supervisor_policy:
         Fault tolerance of the parallel join (workers > 1; see
@@ -454,6 +478,13 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
     validate_epsilon(epsilon)
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    if shards is not None:
+        if shards < 1:
+            raise ValueError(f"shards must be at least 1, got {shards}")
+        if shard_policy not in SHARD_POLICIES:
+            raise ValueError(f"unknown shard policy {shard_policy!r}; "
+                             f"choose from {SHARD_POLICIES}")
+        get_backend(backend)  # fail fast on unknown backend names
     if supervisor_policy is None:
         supervisor_policy = SupervisorPolicy(task_timeout=task_timeout,
                                              max_task_retries=task_retries,
@@ -615,7 +646,18 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
 
         join_time_before = sorted_disk_obj.simulated_time_s
         supervisor_stats = None
-        if workers > 1:
+        shard_stats = None
+        if shards is not None:
+            with prof.phase("schedule"), \
+                    tracer.span("schedule", cat="pipeline"):
+                schedule_stats, shard_stats = run_sharded_join(
+                    sorted_file, ctx, unit_bytes, buffer_units,
+                    shards=shards, shard_policy=shard_policy,
+                    backend=backend, allow_crabstep=allow_crabstep,
+                    pair_done=pair_done, pair_complete=pair_complete,
+                    supervisor_policy=supervisor_policy,
+                    worker_fault_plan=worker_fault_plan)
+        elif workers > 1:
             decision_hook = None
             replay_events = ()
             if journal is not None:
@@ -633,18 +675,20 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
         else:
             from .parallel import SerialUnitJoiner
             unit_joiner = SerialUnitJoiner(ctx)
-        # The context manager shuts the pool down on *every* exit path —
-        # a fault escaping the schedule must not leak worker processes.
-        with unit_joiner:
-            scheduler = EGOScheduler(sorted_file, ctx, unit_bytes,
-                                     buffer_units,
-                                     allow_crabstep=allow_crabstep,
-                                     pair_done=pair_done,
-                                     pair_complete=pair_complete,
-                                     unit_joiner=unit_joiner)
-            with prof.phase("schedule"), \
-                    tracer.span("schedule", cat="pipeline"):
-                schedule_stats = scheduler.run()
+        if shards is None:
+            # The context manager shuts the pool down on *every* exit
+            # path — a fault escaping the schedule must not leak worker
+            # processes.
+            with unit_joiner:
+                scheduler = EGOScheduler(sorted_file, ctx, unit_bytes,
+                                         buffer_units,
+                                         allow_crabstep=allow_crabstep,
+                                         pair_done=pair_done,
+                                         pair_complete=pair_complete,
+                                         unit_joiner=unit_joiner)
+                with prof.phase("schedule"), \
+                        tracer.span("schedule", cat="pipeline"):
+                    schedule_stats = scheduler.run()
         join_io_time = sorted_disk_obj.simulated_time_s - join_time_before
 
         total_pairs = result.count
@@ -673,6 +717,7 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
             supervisor=supervisor_stats,
             worker_faults=(worker_fault_plan.injected
                            if worker_fault_plan else None),
+            shards=shard_stats,
         )
     finally:
         root_span.__exit__(None, None, None)

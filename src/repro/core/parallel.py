@@ -165,6 +165,12 @@ def ego_self_join_parallel(points: np.ndarray, epsilon: float,
 
 
 # -- parallel unit-pair join for the external pipeline ----------------------
+#
+# ``_init_unit_worker`` / ``_run_unit_pair`` are the per-process seam of
+# the external join: the supervised pool (:mod:`repro.core.supervisor`)
+# and the shard workers (:mod:`repro.core.shard`) both initialise and
+# call them, so every execution mode joins a loaded unit pair with the
+# exact same kernel and returns batches in the same deterministic order.
 
 #: Per-process join parameters for unit-pair workers.
 _UNIT_STATE: dict = {}

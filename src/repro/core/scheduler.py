@@ -165,6 +165,10 @@ class EGOScheduler:
         self.unit_joiner = unit_joiner
         self.stats = ScheduleStats()
         self.meta: Dict[int, UnitMeta] = {}
+        # Records per unit ordinal, filled on first load.  The shard
+        # planner (repro.core.shard) reads this after a planning run to
+        # estimate per-unit candidate volume without re-reading the file.
+        self.unit_records: Dict[int, int] = {}
         # The invariant monitor (ctx.invariants) watches gallop loads,
         # joined unit pairs and buffer pins.  The thrashing variant
         # (allow_crabstep=False) deliberately violates read-once, so the
@@ -237,6 +241,7 @@ class EGOScheduler:
             cells = grid_cells(points[[0, -1]], self.ctx.grid_epsilon)
             self.meta[ordinal] = UnitMeta(first_cells=cells[0],
                                           last_cells=cells[1])
+        self.unit_records.setdefault(ordinal, len(ids))
         return ids, points
 
     def _needed(self, unit: int, frontier: int) -> bool:

@@ -236,6 +236,12 @@ def _result_digest(out_a: np.ndarray, out_b: np.ndarray,
     return h
 
 
+#: Public alias: the sharded join (repro.core.shard) digests per-event
+#: results with the same CRC so its corruption detection matches the
+#: supervised pool's.
+result_digest = _result_digest
+
+
 def _init_supervised_worker(init_args: tuple,
                             worker_plan: Optional[WorkerFaultPlan]) -> None:
     _init_unit_worker(*init_args)

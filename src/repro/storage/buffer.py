@@ -47,6 +47,11 @@ class BufferStats:
         self.misses = 0
         self.evictions = 0
 
+    def __add__(self, other: "BufferStats") -> "BufferStats":
+        return BufferStats(hits=self.hits + other.hits,
+                           misses=self.misses + other.misses,
+                           evictions=self.evictions + other.evictions)
+
 
 class BufferPool(Generic[K, V]):
     """Fixed-capacity page buffer with LRU replacement and pinning.

@@ -155,6 +155,7 @@ class FaultPlan:
         self.injected = FaultLog()
         self._rng = random.Random(seed)
         self._op = 0
+        self._pressure_base = 0
 
     # -- derived plans ------------------------------------------------------
 
@@ -180,8 +181,26 @@ class FaultPlan:
         return self._op
 
     def under_pressure(self) -> bool:
-        """True while the current operation index is in a pressure window."""
-        return any(a <= self._op < b for a, b in self.pressure_ranges)
+        """True while the current operation index is in a pressure window.
+
+        The index is taken relative to the last
+        :meth:`begin_pressure_scope` call, so pressure windows describe
+        positions *within a run* rather than absolute positions in the
+        plan's lifetime — without the re-basing, a plan reused for
+        back-to-back runs (or shared across concurrent per-shard pools)
+        would leak one run's window into the next.
+        """
+        op = self._op - self._pressure_base
+        return any(a <= op < b for a, b in self.pressure_ranges)
+
+    def begin_pressure_scope(self) -> None:
+        """Re-base the pressure windows at the current operation index.
+
+        Called at run entry (see :class:`~repro.storage.stats.IOScope`),
+        the same pattern that run-scopes the I/O counters: each run sees
+        the plan's pressure ranges relative to its own first operation.
+        """
+        self._pressure_base = self._op
 
     def _next_op(self) -> int:
         op = self._op
@@ -297,6 +316,10 @@ class FaultyDisk:
 
     def reset_accounting(self) -> None:
         self.inner.reset_accounting()
+
+    def begin_pressure_scope(self) -> None:
+        """Re-base the plan's pressure windows at the current op index."""
+        self.plan.begin_pressure_scope()
 
     # -- faulting data path -------------------------------------------------
 

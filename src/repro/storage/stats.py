@@ -155,6 +155,12 @@ class IOScope:
             reset = getattr(disk, "reset_position", None)
             if reset is not None:
                 reset()
+            # Fault layers carry run-relative pressure windows; re-base
+            # them here so a plan reused across back-to-back runs (or
+            # shared by per-shard pools) scopes its windows to this run.
+            pressure = getattr(disk, "begin_pressure_scope", None)
+            if pressure is not None:
+                pressure()
         self._io0 = [disk.counters.snapshot() for disk in self.disks]
         self._time0 = [disk.simulated_time_s for disk in self.disks]
         return self

@@ -14,6 +14,11 @@ reasoning of the EGO join (Lemmata 2 and 3) is most fragile against:
   cell-distance test over-prunes most easily);
 * ``clusters`` — correlated Gaussian clusters: skewed ε-cell occupancy
   and interval lengths far from the uniform case;
+* ``skewed`` — one heavy cluster holding most of the points over a
+  sparse uniform background: the worst case for uniform work
+  partitioning (one shard inherits nearly all candidate pairs), which
+  is what the adaptive shard planner of :mod:`repro.core.shard` must
+  rebalance;
 * ``uniform`` — the baseline of the paper's experiments.
 
 All generators are pure functions of their seed; the same
@@ -35,7 +40,8 @@ from ..data.synthetic import gaussian_clusters, uniform
 BOUNDARY_DELTA = 2.0 ** -40
 
 WORKLOAD_KINDS: Tuple[str, ...] = (
-    "uniform", "boundary", "duplicates", "degenerate", "clusters")
+    "uniform", "boundary", "duplicates", "degenerate", "clusters",
+    "skewed")
 
 
 @dataclass
@@ -111,6 +117,23 @@ def _degenerate(n: int, dimensions: int, epsilon: float,
     return pts
 
 
+def _skewed(n: int, dimensions: int, epsilon: float,
+            rng: np.random.Generator) -> np.ndarray:
+    """One dominating tight cluster over a sparse uniform background.
+
+    ~70% of the points fall inside a single cluster a few ε wide, so
+    nearly all candidate pairs live in a handful of adjacent ε-cells at
+    one spot of the grid order; the rest is uniform background that
+    contributes volume but almost no pairs.
+    """
+    n_heavy = max(1, (7 * n) // 10)
+    center = rng.random(dimensions) * 0.6 + 0.2
+    heavy = center + rng.normal(0.0, epsilon, size=(n_heavy, dimensions))
+    background = rng.random((n - n_heavy, dimensions))
+    pts = np.concatenate([heavy, background])[:n]
+    return np.clip(pts, 0.0, 1.0)
+
+
 def generate_workload(kind: str, n: int, dimensions: int, epsilon: float,
                       seed: int) -> Workload:
     """Generate one seeded workload of the named ``kind``."""
@@ -128,6 +151,8 @@ def generate_workload(kind: str, n: int, dimensions: int, epsilon: float,
         pts = _duplicates(n, dimensions, epsilon, rng)
     elif kind == "degenerate":
         pts = _degenerate(n, dimensions, epsilon, rng)
+    elif kind == "skewed":
+        pts = _skewed(n, dimensions, epsilon, rng)
     else:
         pts = gaussian_clusters(n, dimensions, clusters=max(2, n // 40),
                                 std=epsilon / 2, seed=rng)

@@ -1,0 +1,432 @@
+"""Tests for the sharded external join (repro.core.shard).
+
+Covers the shard planner on adversarial skew, byte-identity of the
+sharded pipeline against the serial run across shard counts, policies
+and storage backends, crash/resume across execution modes, worker-fault
+injection inside shards, and the run-scoped pressure-gauge regression.
+"""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.ego_join import ego_self_join_file
+from repro.core.shard import (OVERSIZE_FACTOR, PlanningJoiner,
+                              ShardRunner, UnitPairEvent, event_cost,
+                              plan_shards)
+from repro.core.supervisor import PoolFailureError, SupervisorPolicy
+from repro.storage.backend import (BACKENDS, FileDisk, MemoryDisk,
+                                   get_backend)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.faults import (FaultPlan, SimulatedCrash,
+                                  WorkerFaultPlan)
+from repro.storage.pagefile import PointFile
+
+from conftest import brute_truth, make_file
+
+EPS = 0.15
+GEOMETRY = dict(unit_bytes=2048, buffer_units=4)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    return rng.random((400, 4))
+
+
+@pytest.fixture(scope="module")
+def skewed_dataset():
+    # One heavy cluster dominating a sparse background: the workload
+    # uniform partitioning is worst at.
+    rng = np.random.default_rng(11)
+    heavy = 0.5 + rng.normal(0.0, EPS, size=(280, 4))
+    background = rng.random((120, 4))
+    return np.clip(np.concatenate([heavy, background]), 0.0, 1.0)
+
+
+def run_join(points, ckdir=None, **kw):
+    with SimulatedDisk() as disk:
+        pf = make_file(disk, points)
+        return ego_self_join_file(pf, EPS, checkpoint_dir=ckdir,
+                                  **GEOMETRY, **kw)
+
+
+def file_digest(path):
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
+# -- planner ----------------------------------------------------------------
+
+
+def chain_events(num_units, span=1):
+    """Self pairs plus cross pairs reaching back ``span`` ordinals."""
+    events = []
+    for b in range(num_units):
+        events.append(UnitPairEvent(len(events), b, b))
+        for a in range(max(0, b - span), b):
+            events.append(UnitPairEvent(len(events), a, b))
+    return events
+
+
+class TestPlanner:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_shards(4, [], {}, 0)
+        with pytest.raises(ValueError):
+            plan_shards(4, [], {}, 2, policy="zigzag")
+        assert plan_shards(0, [], {}, 2) == []
+
+    def test_uniform_equal_unit_counts(self):
+        events = chain_events(8)
+        records = {u: 10 for u in range(8)}
+        specs = plan_shards(8, events, records, 4, policy="uniform")
+        assert [(s.own_lo, s.own_hi) for s in specs] == \
+            [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_shards_clamped_to_units(self):
+        specs = plan_shards(3, chain_events(3), {u: 5 for u in range(3)},
+                            16, policy="uniform")
+        assert len(specs) == 3
+
+    def test_every_event_owned_exactly_once(self):
+        events = chain_events(10, span=3)
+        records = {u: 10 + u for u in range(10)}
+        for policy in ("uniform", "adaptive"):
+            specs = plan_shards(10, events, records, 3, policy=policy)
+            seen = [ev.seq for s in specs for ev in s.events]
+            assert sorted(seen) == [ev.seq for ev in events]
+            for s in specs:
+                for ev in s.events:
+                    assert s.own_lo <= ev.b < s.own_hi
+                    assert ev.a >= s.fringe_lo
+
+    def test_fringe_covers_lowest_partner(self):
+        events = chain_events(8, span=3)
+        records = {u: 10 for u in range(8)}
+        specs = plan_shards(8, events, records, 2, policy="uniform")
+        # Second shard owns [4, 8); its events reach back to unit 1.
+        assert specs[1].fringe_lo == min(
+            ev.a for ev in specs[1].events)
+        assert specs[1].fringe_units == specs[1].own_lo - specs[1].fringe_lo
+
+    def test_adaptive_beats_uniform_on_heavy_cluster(self):
+        # One unit holds 100x the records of the rest: uniform puts the
+        # whole heavy cell in one shard, adaptive isolates it.
+        num_units = 8
+        records = {u: 10 for u in range(num_units)}
+        records[5] = 1000
+        events = chain_events(num_units)
+        uniform = plan_shards(num_units, events, records, 2,
+                              policy="uniform")
+        adaptive = plan_shards(num_units, events, records, 2,
+                               policy="adaptive")
+        assert max(s.cost for s in adaptive) < max(s.cost for s in uniform)
+
+    def test_adaptive_resplit_bounded(self):
+        # Re-splitting must never exceed 2x the requested shard count.
+        num_units = 32
+        records = {u: (1000 if u % 5 == 0 else 1) for u in range(num_units)}
+        events = chain_events(num_units, span=2)
+        specs = plan_shards(num_units, events, records, 4,
+                            policy="adaptive")
+        assert len(specs) <= 8
+        # Contiguous, gap-free coverage of the ordinal range.
+        assert specs[0].own_lo == 0 and specs[-1].own_hi == num_units
+        for left, right in zip(specs, specs[1:]):
+            assert left.own_hi == right.own_lo
+
+    def test_adaptive_duplicate_record_counts(self):
+        # All-equal counts (duplicates everywhere) degenerate to a
+        # near-uniform plan without loops or zero-width shards.
+        records = {u: 50 for u in range(12)}
+        specs = plan_shards(12, chain_events(12), records, 4,
+                            policy="adaptive")
+        assert all(s.units >= 1 for s in specs)
+        total = sum(s.cost for s in specs)
+        assert max(s.cost for s in specs) <= OVERSIZE_FACTOR * total / 4 \
+            + max(event_cost(ev, records) for ev in chain_events(12))
+
+    def test_event_cost_model(self):
+        records = {0: 10, 1: 20}
+        assert event_cost(UnitPairEvent(0, 0, 1), records) == 200
+        assert event_cost(UnitPairEvent(0, 0, 0), records) == 45
+        assert event_cost(UnitPairEvent(0, 2, 2), records) == 0
+
+    def test_planning_joiner_records_submission_order(self):
+        pj = PlanningJoiner()
+        with pj:
+            pj.submit(None, None, None, None, key=(3, 3))
+            pj.submit(None, None, None, None, key=(2, 5))
+            pj.drain()
+        assert [(ev.seq, ev.a, ev.b) for ev in pj.events] == \
+            [(0, 3, 3), (1, 2, 5)]
+
+
+# -- backends ---------------------------------------------------------------
+
+
+class TestBackends:
+    def test_registry(self):
+        assert set(BACKENDS) == {"simulated", "file", "memory"}
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            get_backend("ramdisk")
+
+    def test_memory_disk_counts_like_simulated(self):
+        md, sd = MemoryDisk(), SimulatedDisk()
+        for d in (md, sd):
+            d.write(0, b"x" * 100)       # sequential (first op at 0)
+            d.read(0, 50)                # random (arm moved by write)
+            d.read(50, 50)               # sequential
+        assert (md.counters.sequential_reads, md.counters.random_reads) \
+            == (sd.counters.sequential_reads, sd.counters.random_reads)
+        assert md.counters.bytes_written == sd.counters.bytes_written
+        assert md.simulated_time_s == 0.0
+        sd.close()
+
+    def test_file_disk_roundtrip_and_cleanup(self):
+        fd = FileDisk()
+        path = fd.path
+        fd.write(0, b"hello world")
+        assert fd.read(6, 5) == b"world"
+        assert fd.size() == 11
+        fd.close()
+        assert not os.path.exists(path)
+
+
+# -- sharded pipeline byte-identity -----------------------------------------
+
+
+class TestShardedIdentity:
+    @pytest.fixture(scope="class")
+    def serial(self, dataset):
+        return run_join(dataset)
+
+    @pytest.mark.parametrize("policy", ["uniform", "adaptive"])
+    @pytest.mark.parametrize("backend", ["simulated", "file", "memory"])
+    def test_matrix_two_shards(self, dataset, serial, policy, backend):
+        rep = run_join(dataset, shards=2, shard_policy=policy,
+                       backend=backend)
+        sa, sb = serial.result.pairs()
+        pa, pb = rep.result.pairs()
+        assert np.array_equal(pa, sa) and np.array_equal(pb, sb)
+        assert rep.io == serial.io
+        assert rep.schedule_stats == serial.schedule_stats
+        assert rep.cpu == serial.cpu
+        assert len(rep.shards) == 2
+        assert sum(s.pairs for s in rep.shards) == len(pa)
+        assert all(s.backend == backend for s in rep.shards)
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_shard_counts(self, dataset, serial, shards):
+        rep = run_join(dataset, shards=shards)
+        sa, sb = serial.result.pairs()
+        pa, pb = rep.result.pairs()
+        assert np.array_equal(pa, sa) and np.array_equal(pb, sb)
+        assert rep.io == serial.io
+
+    def test_matches_brute_force(self, skewed_dataset):
+        rep = run_join(skewed_dataset, shards=3)
+        assert rep.result.canonical_pair_set() == \
+            brute_truth(skewed_dataset, EPS)
+
+    def test_checkpointed_bytes_identical(self, dataset, tmp_path):
+        d1, d2 = str(tmp_path / "serial"), str(tmp_path / "sharded")
+        run_join(dataset, ckdir=d1)
+        rep = run_join(dataset, ckdir=d2, shards=3)
+        assert file_digest(os.path.join(d1, "result.prs")) == \
+            file_digest(os.path.join(d2, "result.prs"))
+        assert file_digest(os.path.join(d1, "journal.json")) == \
+            file_digest(os.path.join(d2, "journal.json"))
+        assert rep.total_pairs is not None
+
+    def test_shard_stats_surface(self, skewed_dataset):
+        from repro.analysis.reporting import shard_summary
+        rep = run_join(skewed_dataset, shards=2)
+        rows = shard_summary(rep)
+        assert len(rows) == 2
+        assert {r["shard"] for r in rows} == {0, 1}
+        assert sum(r["pairs"] for r in rows) == rep.result.count
+        assert all(r["io accesses"] > 0 for r in rows)
+
+    def test_shard_metrics_registered(self, dataset):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        run_join(dataset, shards=2, metrics=registry)
+        assert "ego_shard_units" in registry.names()
+        assert "ego_shard_pairs" in registry.names()
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            run_join(dataset, shards=0)
+        with pytest.raises(ValueError):
+            run_join(dataset, shards=2, shard_policy="zigzag")
+        with pytest.raises(ValueError):
+            run_join(dataset, shards=2, backend="ramdisk")
+
+
+# -- crash / resume ---------------------------------------------------------
+
+
+class TestShardCrashResume:
+    def crash_then_resume(self, dataset, tmp_path, crash_kw, resume_kw):
+        ref_dir = str(tmp_path / "ref")
+        run_join(dataset, ckdir=ref_dir)
+        crash_dir = str(tmp_path / "crash")
+        fired = False
+        for op in (21, 24, 28, 33):
+            try:
+                run_join(dataset, ckdir=crash_dir,
+                         fault_plan=FaultPlan(seed=1, crash_ops=(op,)),
+                         **crash_kw)
+            except SimulatedCrash:
+                fired = True
+                break
+        assert fired, "no scheduled crash landed inside the run"
+        rep = run_join(dataset, ckdir=crash_dir, resume=True, **resume_kw)
+        assert file_digest(os.path.join(ref_dir, "result.prs")) == \
+            file_digest(os.path.join(crash_dir, "result.prs"))
+        return rep
+
+    def test_sharded_crash_sharded_resume(self, dataset, tmp_path):
+        rep = self.crash_then_resume(dataset, tmp_path,
+                                     dict(shards=2), dict(shards=2))
+        assert rep.resumed
+
+    def test_serial_crash_sharded_resume(self, dataset, tmp_path):
+        # A journal written by the serial join must be consumable by a
+        # sharded resume: completed pairs are excluded from the plan.
+        rep = self.crash_then_resume(dataset, tmp_path,
+                                     {}, dict(shards=2))
+        assert rep.resumed
+        assert rep.schedule_stats.pairs_resumed > 0
+
+    def test_sharded_crash_serial_resume(self, dataset, tmp_path):
+        rep = self.crash_then_resume(dataset, tmp_path,
+                                     dict(shards=2), {})
+        assert rep.resumed
+
+
+# -- worker faults inside shards --------------------------------------------
+
+
+FAST = SupervisorPolicy(task_timeout=None, max_task_retries=2,
+                        degrade=True, real_sleep=False)
+
+
+class TestShardFaults:
+    @pytest.mark.parametrize("kw, logged", [
+        (dict(error_rate=1.0, max_attempt=0), "task_errors"),
+        (dict(corrupt_rate=1.0, max_attempt=0), "corrupted_results"),
+        (dict(crash_rate=0.3, max_attempt=0), "crashes"),
+    ])
+    def test_first_attempt_faults_retried(self, dataset, kw, logged):
+        serial = run_join(dataset)
+        plan = WorkerFaultPlan(seed=5, **kw)
+        rep = run_join(dataset, shards=2, worker_fault_plan=plan,
+                       supervisor_policy=FAST)
+        sa, sb = serial.result.pairs()
+        pa, pb = rep.result.pairs()
+        assert np.array_equal(pa, sa) and np.array_equal(pb, sb)
+        assert sum(s.retries for s in rep.shards) > 0
+        assert getattr(rep.worker_faults, logged) > 0
+        assert not any(s.degraded for s in rep.shards)
+
+    def test_stall_triggers_timeout_recycle(self, dataset):
+        serial = run_join(dataset)
+        plan = WorkerFaultPlan(seed=5, stall_rate=1.0, stall_seconds=15.0,
+                               max_attempt=0)
+        policy = SupervisorPolicy(task_timeout=1.0, max_task_retries=2,
+                                  degrade=True, real_sleep=False)
+        rep = run_join(dataset, shards=2, worker_fault_plan=plan,
+                       supervisor_policy=policy)
+        sa, _ = serial.result.pairs()
+        pa, _ = rep.result.pairs()
+        assert np.array_equal(pa, sa)
+        assert rep.worker_faults.stalls > 0
+
+    def test_permanent_fault_degrades_inline(self, dataset):
+        serial = run_join(dataset)
+        plan = WorkerFaultPlan(seed=5, error_rate=1.0, max_attempt=None)
+        rep = run_join(dataset, shards=2, worker_fault_plan=plan,
+                       supervisor_policy=FAST)
+        sa, _ = serial.result.pairs()
+        pa, _ = rep.result.pairs()
+        assert np.array_equal(pa, sa)
+        assert all(s.degraded for s in rep.shards if s.events)
+
+    def test_no_degrade_raises(self, dataset):
+        plan = WorkerFaultPlan(seed=5, error_rate=1.0, max_attempt=None)
+        policy = SupervisorPolicy(max_task_retries=1, degrade=False,
+                                  real_sleep=False)
+        with pytest.raises(PoolFailureError):
+            run_join(dataset, shards=2, worker_fault_plan=plan,
+                     supervisor_policy=policy)
+
+
+# -- run-scoped pressure gauge ----------------------------------------------
+
+
+class TestPressureScope:
+    def test_back_to_back_runs_rescope_pressure(self, dataset):
+        # One fault plan reused across consecutive runs: the pressure
+        # window is defined in run-relative operation indices, so the
+        # second run must react exactly like the first instead of
+        # sliding out of (or staying stuck inside) the window as the
+        # plan's global op counter advances.
+        def run_twice(**kw):
+            plan = FaultPlan(seed=5, pressure_ranges=[(5, 60)])
+            with SimulatedDisk() as disk:
+                pf = make_file(disk, dataset)
+                first = ego_self_join_file(pf, EPS, fault_plan=plan,
+                                           **GEOMETRY, **kw)
+                second = ego_self_join_file(pf, EPS, fault_plan=plan,
+                                            **GEOMETRY, **kw)
+            return first, second
+
+        first, second = run_twice()
+        assert first.schedule_stats.pressure_shrinks > 0
+        assert second.schedule_stats.pressure_shrinks == \
+            first.schedule_stats.pressure_shrinks
+        s1, s2 = run_twice(shards=2)
+        assert s2.schedule_stats.pressure_shrinks == \
+            s1.schedule_stats.pressure_shrinks
+        assert s1.schedule_stats.pressure_shrinks == \
+            first.schedule_stats.pressure_shrinks
+
+    def test_pressure_scope_rebase(self):
+        plan = FaultPlan(seed=0, pressure_ranges=[(0, 3)])
+        assert plan.under_pressure()
+        plan._op = 10
+        assert not plan.under_pressure()
+        plan.begin_pressure_scope()
+        assert plan.under_pressure()
+
+
+# -- verify-layer registration ----------------------------------------------
+
+
+class TestVerifyIntegration:
+    def test_oracle_sharded_mode(self, skewed_dataset):
+        from repro.verify.oracle import STORAGE_MODES, run_impl
+        assert "sharded" in STORAGE_MODES
+        pts = skewed_dataset[:150]
+        expected = run_impl("brute", pts, EPS)
+        observed = run_impl("ego_external", pts, EPS, storage="sharded",
+                            shards=2, shard_policy="adaptive")
+        assert np.array_equal(observed, expected)
+
+    def test_skewed_workload_registered(self):
+        from repro.verify.workloads import WORKLOAD_KINDS, generate_workload
+        assert "skewed" in WORKLOAD_KINDS
+        w1 = generate_workload("skewed", 200, 4, EPS, seed=3)
+        w2 = generate_workload("skewed", 200, 4, EPS, seed=3)
+        assert np.array_equal(w1.points, w2.points)
+        assert w1.points.shape == (200, 4)
+        assert w1.points.min() >= 0.0 and w1.points.max() <= 1.0
+        # The heavy cluster concentrates most points in a tight ball.
+        center = np.median(w1.points, axis=0)
+        dist = np.linalg.norm(w1.points - center, axis=1)
+        assert np.mean(dist < 4 * EPS) > 0.6
