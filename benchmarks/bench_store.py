@@ -1,0 +1,214 @@
+"""Experiment STORE-1 — amortized incremental updates vs re-sort-per-update.
+
+The :class:`repro.service.EGOStore` exists so that a long-lived join
+service does not pay a full EGO re-sort for every update.  This
+benchmark quantifies that claim on the acceptance workload: a resident
+base of points absorbing a seeded stream of insert/delete batches.
+
+Two update strategies over the *same* op stream:
+
+* **store** — one ``EGOStore``; each batch is an ``insert``/``delete``
+  call (delta buffer + threshold compaction, journaling off).
+* **resort** — the naive service: after every batch the full live set
+  is re-sorted from scratch (``ego_sort_order``), which is exactly the
+  work a stateless wrapper around the batch pipeline would repeat.
+
+The claim asserted (not merely charted): amortized per-batch update
+cost of the store is **≥ 10×** cheaper than re-sort-per-update at the
+full size (5 000 base points; a smaller floor guards the ``--tiny`` CI
+smoke, where constant overheads dominate).  Correctness is not taken on
+faith either — after the stream the store join is digest-checked
+against ``ego_self_join`` on the surviving points.
+
+Also recorded: cold vs cached join latency, and compaction counts, so
+regressions in the LRU or the merge path show up in the history file.
+
+Usage: ``python benchmarks/bench_store.py [--tiny]`` appends one record
+to ``results/BENCH_store.json`` (record_kernels.py style).
+"""
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.ego_join import ego_self_join
+from repro.core.ego_order import ego_sort_order
+from repro.service import EGOStore
+from repro.verify.canonical import canonical_pairs, pair_digest
+
+from _harness import RESULTS_DIR, format_table
+
+JSON_PATH = os.path.join(RESULTS_DIR, "BENCH_store.json")
+
+EPSILON = 0.15
+DIMS = 4
+
+
+def op_stream(n_base: int, batches: int, seed: int):
+    """Seeded update stream: (kind, ids, points) tuples."""
+    rng = np.random.default_rng(seed)
+    base = rng.random((n_base, DIMS))
+    ops = []
+    next_id = n_base
+    live = list(range(n_base))
+    for i in range(batches):
+        if i % 4 == 3 and len(live) > 32:
+            k = int(rng.integers(2, 6))
+            victims = rng.choice(len(live), size=k, replace=False)
+            ids = [live[v] for v in victims]
+            for v in sorted(victims, reverse=True):
+                live.pop(v)
+            ops.append(("delete", np.asarray(ids, dtype=np.int64), None))
+        else:
+            k = int(rng.integers(4, 12))
+            ids = np.arange(next_id, next_id + k, dtype=np.int64)
+            next_id += k
+            live.extend(ids.tolist())
+            ops.append(("insert", ids, rng.random((k, DIMS))))
+    return base, ops
+
+
+def apply_to_store(store: EGOStore, op) -> None:
+    kind, ids, pts = op
+    if kind == "insert":
+        store.insert(pts, ids=ids)
+    else:
+        store.delete(ids)
+
+
+def run_stream(n_base: int, batches: int, seed: int = 7) -> dict:
+    base, ops = op_stream(n_base, batches, seed)
+
+    # -- incremental store ------------------------------------------------
+    store = EGOStore.from_points(base, EPSILON, compact_threshold=256)
+    t0 = time.perf_counter()
+    for op in ops:
+        apply_to_store(store, op)
+    t_store = time.perf_counter() - t0
+
+    # -- naive re-sort-per-update -----------------------------------------
+    # The baseline maintains the same live set but re-sorts the whole
+    # file after every batch — the stateless-service cost model.
+    table = {int(i): base[i] for i in range(n_base)}
+    t0 = time.perf_counter()
+    for kind, ids, pts in ops:
+        if kind == "insert":
+            for i, uid in enumerate(ids.tolist()):
+                table[uid] = pts[i]
+        else:
+            for uid in ids.tolist():
+                del table[uid]
+        live = np.array([table[u] for u in sorted(table)])
+        ego_sort_order(live, EPSILON)
+    t_resort = time.perf_counter() - t0
+
+    # -- correctness: store join ≡ batch pipeline on the survivors --------
+    ids, live = store.live_points()
+    batch = canonical_pairs(ego_self_join(live, EPSILON, ids=ids))
+    if pair_digest(store.join()) != pair_digest(batch):
+        raise AssertionError("store join diverged from the batch join")
+
+    # -- query latency: cold vs LRU-cached --------------------------------
+    probe = EGOStore.from_points(live, EPSILON)
+    t0 = time.perf_counter()
+    probe.join()
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    probe.join()
+    t_cached = time.perf_counter() - t0
+
+    stats = store.stats()
+    return {
+        "n_base": n_base,
+        "batches": batches,
+        "live": len(ids),
+        "pairs": len(batch),
+        "store_update_ms": round(1e3 * t_store / batches, 4),
+        "resort_update_ms": round(1e3 * t_resort / batches, 4),
+        "update_speedup": round(t_resort / t_store, 1),
+        "compactions": stats.compactions,
+        "join_cold_ms": round(1e3 * t_cold, 3),
+        "join_cached_ms": round(1e3 * t_cached, 4),
+    }
+
+
+def run_suite(tiny: bool = False):
+    run_stream(200, 8)  # warm-up: numpy lazy imports, allocator
+    configs = ([(2000, 40)] if tiny
+               else [(2000, 60), (5000, 100)])
+    return [run_stream(n, batches) for n, batches in configs]
+
+
+def check_rows(rows, tiny: bool):
+    """The amortized-update claim this benchmark exists to test."""
+    # Constant overheads dominate at smoke sizes; the acceptance bar
+    # (10×) applies to the full 5k-point run.
+    floor = 3.0 if tiny else 10.0
+    worst = max(rows, key=lambda r: r["n_base"])
+    assert worst["update_speedup"] >= floor, (
+        f"amortized update speedup {worst['update_speedup']}× is below "
+        f"the {floor}× floor at n={worst['n_base']}")
+    for r in rows:
+        assert r["join_cached_ms"] <= r["join_cold_ms"], (
+            "cached join slower than cold join — LRU regression")
+
+
+def append_record(rows, mode, path=JSON_PATH):
+    history = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            history = json.load(fh)
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": mode,
+        "epsilon": EPSILON,
+        "dims": DIMS,
+        "rows": rows,
+    })
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def emit_table(rows):
+    title = ("EGOStore amortized updates vs re-sort-per-update "
+             f"(eps={EPSILON}, dims={DIMS})")
+    text = format_table(rows, title=title)
+    print()
+    print("=== bench_store ===")
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "bench_store.txt"), "w") as fh:
+        fh.write(f"=== bench_store ===\n{text}\n")
+
+
+def test_store_bench():
+    rows = run_suite(tiny=True)
+    emit_table(rows)
+    check_rows(rows, tiny=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke configuration (small datasets)")
+    args = parser.parse_args()
+    rows = run_suite(tiny=args.tiny)
+    emit_table(rows)
+    check_rows(rows, tiny=args.tiny)
+    path = append_record(rows, "tiny" if args.tiny else "full")
+    for row in rows:
+        print(f"n={row['n_base']}: store {row['store_update_ms']} ms/op "
+              f"vs resort {row['resort_update_ms']} ms/op "
+              f"({row['update_speedup']}x), "
+              f"{row['compactions']} compactions")
+    print(f"appended to {path}")
+
+
+if __name__ == "__main__":
+    main()

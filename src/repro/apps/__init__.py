@@ -1,8 +1,9 @@
 """Applications built on top of the similarity join."""
 
 from .colocation import ColocationPattern, colocation_patterns
-from .dbscan import NOISE, DBSCANResult, dbscan, dbscan_from_graph
-from .knn import KNNGraph, knn_graph
+from .dbscan import (NOISE, DBSCANResult, dbscan, dbscan_from_graph,
+                     dbscan_from_store)
+from .knn import KNNGraph, knn_graph, knn_graph_from_store
 from .neighborhood import NeighborhoodGraph, UnionFind, epsilon_graph
 from .optics import OPTICSResult, optics
 from .outliers import OutlierResult, distance_based_outliers
@@ -19,8 +20,10 @@ __all__ = [
     "colocation_patterns",
     "dbscan",
     "dbscan_from_graph",
+    "dbscan_from_store",
     "distance_based_outliers",
     "epsilon_graph",
     "knn_graph",
+    "knn_graph_from_store",
     "optics",
 ]

@@ -16,7 +16,7 @@ within ε of each other; non-core points within ε of a core point are
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -99,3 +99,30 @@ def dbscan(points: np.ndarray, epsilon: float, min_pts: int,
     a, b = join_result.pairs()
     graph = NeighborhoodGraph.from_pairs(len(pts), epsilon, a, b)
     return dbscan_from_graph(graph, min_pts)
+
+
+def dbscan_from_store(store, min_pts: int,
+                      epsilon: Optional[float] = None
+                      ) -> Tuple[np.ndarray, DBSCANResult]:
+    """DBSCAN over the live set of a :class:`~repro.service.EGOStore`.
+
+    The store's incrementally-maintained (and cached) self-join stands
+    in for the batch join, so re-clustering after inserts or deletes
+    reuses the resident sorted order instead of re-sorting.  Returns
+    ``(ids, result)``: ``result.labels[i]`` labels the point with user
+    id ``ids[i]`` (ids ascending).
+    """
+    ids, _pts = store.live_points()
+    eps = store.epsilon if epsilon is None else float(epsilon)
+    pairs = store.join(eps)
+    # Store pairs carry user ids; the graph wants positions 0..n-1.
+    if len(pairs):
+        lookup = {int(u): i for i, u in enumerate(ids.tolist())}
+        a = np.fromiter((lookup[int(u)] for u in pairs[:, 0].tolist()),
+                        dtype=np.int64, count=len(pairs))
+        b = np.fromiter((lookup[int(u)] for u in pairs[:, 1].tolist()),
+                        dtype=np.int64, count=len(pairs))
+    else:
+        a = b = np.empty(0, dtype=np.int64)
+    graph = NeighborhoodGraph.from_pairs(len(ids), eps, a, b)
+    return ids, dbscan_from_graph(graph, min_pts)

@@ -121,3 +121,46 @@ def knn_graph(points: np.ndarray, k: int,
         epsilon *= 2.0
     return KNNGraph(k=k, neighbors=neighbors, distances=distances,
                     rounds=rounds, final_epsilon=epsilon)
+
+
+def knn_graph_from_store(store, k: int, max_rounds: int = 12
+                         ) -> Tuple[np.ndarray, KNNGraph]:
+    """kNN graph of an :class:`~repro.service.EGOStore`'s live points.
+
+    The same doubling-radius recipe as :func:`knn_graph`, but every
+    round is a store join — delta-aware and served from the resident
+    order — starting at the store ε.  Returns ``(ids, graph)``; the
+    graph's neighbour entries are *user ids* (padding stays ``-1``).
+    """
+    ids, _pts = store.live_points()
+    n = len(ids)
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if n <= 1:
+        return ids, KNNGraph(
+            k=k, neighbors=np.full((n, k), -1, dtype=np.int64),
+            distances=np.full((n, k), np.inf), rounds=0,
+            final_epsilon=0.0)
+    lookup = {int(u): i for i, u in enumerate(ids.tolist())}
+    epsilon = store.epsilon
+    want = min(k, n - 1)
+    neighbors = distances = None
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        join = store.join_result(epsilon, collect_distances=True)
+        a, b = join.pairs()
+        positional = JoinResult(collect_distances=True)
+        if len(a):
+            pa = np.fromiter((lookup[int(u)] for u in a.tolist()),
+                             dtype=np.int64, count=len(a))
+            pb = np.fromiter((lookup[int(u)] for u in b.tolist()),
+                             dtype=np.int64, count=len(b))
+            positional.add_batch(pa, pb, distances=join.distances())
+        neighbors, distances, counts = _collect(n, k, positional)
+        if (counts >= want).all():
+            break
+        epsilon *= 2.0
+    mapped = np.where(neighbors >= 0, ids[np.clip(neighbors, 0, None)],
+                      np.int64(-1))
+    return ids, KNNGraph(k=k, neighbors=mapped, distances=distances,
+                         rounds=rounds, final_epsilon=epsilon)

@@ -13,6 +13,10 @@ Subcommands cover the typical workflow on point files:
 * ``optics`` — OPTICS cluster ordering via one join;
 * ``estimate`` — the query-optimizer cost model (add ``--file`` to
   also predict the result cardinality from a data sample);
+* ``serve`` — a long-lived :class:`~repro.service.EGOStore` session
+  driven by a seeded op script, every join differentially checked
+  against the batch pipeline; ``--journal`` makes it crash-safe and
+  ``--recover`` rebuilds a store from an existing journal;
 * ``verify`` — seeded differential fuzzing of every join
   implementation (see ``docs/TESTING.md``), with failure shrinking,
   replayable artifacts and the engine × workers × storage acceptance
@@ -432,6 +436,95 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Handle ``repro serve``.
+
+    The stand-in for a network daemon: one long-lived store, a scripted
+    driver.  A seeded mixed op sequence (inserts, deletes, epsilon
+    changes, range/knn queries) runs against the store; every join the
+    script issues — plus one final join — is differentially checked
+    against the batch EGO join of the store's live point set.  Exit
+    code ``1`` flags any divergence, ``0`` a fully-verified session.
+    """
+    from .core.ego_join import ego_self_join
+    from .service import EGOStore
+    from .verify.canonical import canonical_pairs, diff_pairs
+
+    tracer, registry, _profiler = _build_obs(args)
+    try:
+        if args.recover:
+            if not args.journal:
+                raise ValueError("--recover requires --journal PATH")
+            store = EGOStore.recover(args.journal, metrics=registry,
+                                     trace=tracer)
+            print(f"recovered from {args.journal}: {len(store)} live "
+                  f"points at data version {store.data_version}",
+                  file=sys.stderr)
+        else:
+            store = EGOStore(args.epsilon,
+                             compact_threshold=args.compact_threshold,
+                             journal=args.journal, metrics=registry,
+                             trace=tracer)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def check_join(step: str) -> bool:
+        ids, pts = store.live_points()
+        got = store.join()
+        if len(pts) < 2:
+            return len(got) == 0
+        want = canonical_pairs(
+            ego_self_join(pts, store.epsilon, ids=ids))
+        diff = diff_pairs(want, got)
+        if not diff.ok:
+            print(f"{step}: JOIN DIVERGED from batch pipeline — "
+                  f"{diff.summary()}", file=sys.stderr)
+        return diff.ok
+
+    rng = np.random.default_rng(args.seed)
+    dims = args.dims
+    failures = 0
+    checks = 0
+    for step in range(args.selftest_ops):
+        kind = int(rng.integers(0, 6))
+        if store.dimensions is not None:
+            dims = store.dimensions
+        if kind in (0, 1) or len(store) < 4:
+            store.insert(rng.random((int(rng.integers(1, 16)), dims)))
+        elif kind == 2:
+            ids = store.ids()
+            take = min(int(rng.integers(1, 4)), len(ids))
+            store.delete(rng.choice(ids, size=take, replace=False))
+        elif kind == 3:
+            store.set_epsilon(
+                float(rng.uniform(0.5, 1.5)) * store.epsilon)
+        elif kind == 4:
+            store.range(rng.random(dims))
+        else:
+            checks += 1
+            if not check_join(f"step {step}"):
+                failures += 1
+    checks += 1
+    if not check_join("final"):
+        failures += 1
+
+    _dump_obs(args, tracer, registry, _profiler)
+    s = store.stats()
+    print(f"ops: {s.inserts} inserts, {s.deletes} deletes, "
+          f"{s.epsilon_changes} epsilon changes, {s.compactions} "
+          f"compactions", file=sys.stderr)
+    print(f"queries: {s.queries} served, cache hit ratio "
+          f"{s.cache_hit_ratio:.2f}", file=sys.stderr)
+    print(f"store: {s.live_points} live points, {s.main_rows} main rows "
+          f"({s.dead_main_rows} dead), {s.delta_rows} delta rows, "
+          f"ε={s.epsilon:g} (grid {s.grid_epsilon:g})", file=sys.stderr)
+    print(f"digest: {store.state_digest()}")
+    print(f"selftest: {checks - failures}/{checks} join checks "
+          f"identical to the batch pipeline")
+    return 1 if failures else 0
+
+
 def cmd_verify(args) -> int:
     """Handle ``repro verify``."""
     from .verify import fuzz as fuzz_mod
@@ -655,6 +748,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sample this point file to also predict the "
                         "result cardinality")
     e.set_defaults(func=cmd_estimate)
+
+    sv = sub.add_parser("serve",
+                        help="long-lived EGOStore session with a "
+                             "scripted, self-verifying op driver")
+    sv.add_argument("--epsilon", type=float, default=0.2,
+                    help="store ε (also the resident grid ε)")
+    sv.add_argument("--dims", type=int, default=3,
+                    help="point dimensionality of the scripted inserts")
+    sv.add_argument("--seed", type=int, default=0,
+                    help="seed of the scripted op sequence")
+    sv.add_argument("--selftest-ops", type=int, default=40, metavar="N",
+                    help="scripted ops to run (default 40)")
+    sv.add_argument("--compact-threshold", type=int, default=64,
+                    metavar="N",
+                    help="delta rows that trigger compaction")
+    sv.add_argument("--journal", default=None, metavar="PATH",
+                    help="journal every mutating op to PATH (crash-safe; "
+                         "replay with --recover)")
+    sv.add_argument("--recover", action="store_true",
+                    help="rebuild the store from --journal instead of "
+                         "starting fresh, then continue the script")
+    sv.add_argument("--trace", default=None, metavar="OUT.json",
+                    help="write a Chrome trace_event JSON of the "
+                         "session")
+    sv.add_argument("--metrics", default=None, metavar="OUT",
+                    help="dump store metrics (.json → JSON, else "
+                         "Prometheus text)")
+    sv.set_defaults(func=cmd_serve)
 
     v = sub.add_parser("verify",
                        help="seeded differential fuzzing of the joins")

@@ -387,11 +387,12 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
     assume_sorted, sorted_epsilon:
         Skip the external sort: ``input_file`` is already in epsilon
         grid order for ``sorted_epsilon`` (default: ``epsilon``).  A
-        file sorted at εs serves any join epsilon ≤ εs directly, and
-        any integer multiple k·εs (the coarser grid is a function of
-        the finer one) — which is how a parameter sweep reuses one
-        sort.  See ``grid_epsilon`` in
-        :class:`~repro.core.sequence_join.JoinContext`.
+        file sorted at εs serves any join epsilon ≤ εs directly (the
+        pruning grid stays at εs — see ``grid_epsilon`` in
+        :class:`~repro.core.sequence_join.JoinContext`), which is how a
+        parameter sweep reuses one sort.  A *larger* ε falls back to
+        re-sorting: no coarser width preserves the stored
+        lexicographic order, integer multiples of εs included.
     fault_plan:
         Seeded :class:`~repro.storage.faults.FaultPlan`; every disk the
         pipeline touches is wrapped in a fault-injecting layer sharing
@@ -506,13 +507,16 @@ def ego_self_join_file(input_file: PointFile, epsilon: float,
         if epsilon <= eps_s + 1e-12:
             grid_epsilon = eps_s
         else:
-            ratio = epsilon / eps_s
-            if abs(ratio - round(ratio)) > 1e-9:
-                raise ValueError(
-                    f"a file sorted at {eps_s} can serve joins at "
-                    f"epsilon <= {eps_s} or integer multiples of it, "
-                    f"not {epsilon}")
-            grid_epsilon = float(epsilon)
+            # A file sorted at εs is NOT in epsilon grid order for any
+            # larger width — not even integer multiples k·εs.  Coarse
+            # cells are a per-dimension monotone function of the fine
+            # cells, but a lexicographic order does not survive such a
+            # map: two points equal in the coarse leading dimension can
+            # appear in either fine order, so the coarse order they'd
+            # need is lost and the interval scheduling silently drops
+            # pairs (an earlier revision shipped the k·εs shortcut and
+            # did exactly that).  Fall back to re-sorting at ε.
+            assume_sorted = False
 
     journal: Optional[Journal] = None
     if checkpoint_dir is not None:

@@ -1,0 +1,12 @@
+"""Long-lived similarity-join service layer.
+
+The batch pipeline sorts, joins and exits; :class:`EGOStore` keeps the
+EGO-sorted order resident and maintains it under inserts, deletes and
+epsilon changes, so the ROADMAP's service shape — many queries against
+one slowly-changing data set — pays the sort once instead of per call.
+See ``docs/SERVICE.md`` for the design.
+"""
+
+from .store import EGOStore, StaleCacheError, StoreStats
+
+__all__ = ["EGOStore", "StaleCacheError", "StoreStats"]

@@ -192,6 +192,32 @@ class Journal:
             self._changed(force=True)
         return [(e[0], int(e[1]), int(e[2]), int(e[3])) for e in kept]
 
+    # -- store update log ----------------------------------------------------
+    #
+    # The long-lived :class:`repro.service.store.EGOStore` journals its
+    # build parameters once plus every mutating operation, in order.
+    # Replaying the meta record and the op list through a fresh store
+    # rebuilds it byte-identically (compactions are deterministic
+    # functions of the op order, so they are not journaled).
+
+    def record_store_meta(self, meta: Dict) -> None:
+        """Record the store's build parameters (once, at creation)."""
+        self.state["store_meta"] = dict(meta)
+        self._changed(force=True)
+
+    def store_meta(self) -> Optional[Dict]:
+        """The store's build parameters, or ``None``."""
+        return self.state.get("store_meta")
+
+    def record_store_op(self, op: List) -> None:
+        """Append one mutating store operation (insert/delete/set_epsilon)."""
+        self.state.setdefault("store_ops", []).append(op)
+        self._changed()
+
+    def store_ops(self) -> List[List]:
+        """All journaled store operations, in application order."""
+        return self.state.get("store_ops", [])
+
     def mark_join_complete(self, total_pairs: int) -> None:
         """Record that the whole join finished with ``total_pairs`` results."""
         self.state["join_complete"] = {"pairs": int(total_pairs)}

@@ -24,10 +24,13 @@ from .fuzz import (DEFAULT_CONFIGS, FuzzFailure, FuzzReport,
                    acceptance_matrix, dump_artifact, parse_budget,
                    replay_artifact, run_fuzz, shrink_workload)
 from .invariants import InvariantMonitor, InvariantViolation, make_monitor
-from .metamorphic import (RELATION_NAMES, RelationReport,
-                          check_epsilon_nesting, check_permutation,
-                          check_rs_symmetry, check_self_vs_rr,
-                          check_translation, run_relations)
+from .metamorphic import (RELATION_NAMES, STORE_RELATION_NAMES,
+                          RelationReport, check_epsilon_nesting,
+                          check_permutation, check_rs_symmetry,
+                          check_self_vs_rr, check_store_epsilon_nesting,
+                          check_store_insert_delete,
+                          check_store_insert_union, check_translation,
+                          run_relations, run_store_relations)
 from .oracle import (REGISTRY, STORAGE_MODES, DifferentialReport,
                      ImplOutcome, OracleEntry, differential_check,
                      implementations, register, run_impl)
@@ -47,6 +50,7 @@ __all__ = [
     "RELATION_NAMES",
     "RelationReport",
     "STORAGE_MODES",
+    "STORE_RELATION_NAMES",
     "WORKLOAD_KINDS",
     "Workload",
     "acceptance_matrix",
@@ -55,6 +59,9 @@ __all__ = [
     "check_permutation",
     "check_rs_symmetry",
     "check_self_vs_rr",
+    "check_store_epsilon_nesting",
+    "check_store_insert_delete",
+    "check_store_insert_union",
     "check_translation",
     "diff_pairs",
     "differential_check",
@@ -69,5 +76,6 @@ __all__ = [
     "run_fuzz",
     "run_impl",
     "run_relations",
+    "run_store_relations",
     "shrink_workload",
 ]

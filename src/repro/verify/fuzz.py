@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .canonical import pair_digest
-from .metamorphic import run_relations
+from .metamorphic import run_relations, run_store_relations
 from .oracle import REGISTRY, differential_check, run_impl
 from .workloads import WORKLOAD_KINDS, generate_workload
 
@@ -48,6 +48,10 @@ DEFAULT_CONFIGS: Tuple[Tuple[str, Dict[str, object]], ...] = (
     ("ego_external", {"storage": "worker_faults", "workers": 2}),
     ("ego_external", {"engine": "batched", "storage": "crash_resume"}),
     ("ego_rs_files", {}),
+    ("ego_store", {"mode": "fresh"}),
+    ("ego_store", {"mode": "churn"}),
+    ("ego_store", {"mode": "churn", "compact_threshold": 12}),
+    ("ego_store_replay", {}),
     ("grid_hash", {}),
     ("spatial_hash", {}),
     ("msj", {}),
@@ -61,6 +65,10 @@ DEFAULT_CONFIGS: Tuple[Tuple[str, Dict[str, object]], ...] = (
 #: the differential sweep extends their reach to every implementation).
 FUZZ_RELATIONS = ("permutation", "translation", "epsilon_nesting",
                   "self_vs_rr")
+
+#: Update-sequence relations checked per trial on the incremental store.
+FUZZ_STORE_RELATIONS = ("store_insert_union", "store_insert_delete",
+                        "store_epsilon_nesting")
 
 
 @dataclass
@@ -141,6 +149,8 @@ def _check_workload(points: np.ndarray, epsilon: float,
         return False, report.failures[0].describe(), checks
     relations = run_relations("ego", points, epsilon,
                               relations=FUZZ_RELATIONS)
+    relations += run_store_relations(points, epsilon,
+                                     relations=FUZZ_STORE_RELATIONS)
     checks += len(relations)
     for rel in relations:
         if not rel.ok:
@@ -317,7 +327,8 @@ def acceptance_matrix(points: np.ndarray, epsilon: float,
 
 # Re-export for CLI convenience.
 __all__ = [
-    "DEFAULT_CONFIGS", "FUZZ_RELATIONS", "FuzzFailure", "FuzzReport",
-    "REGISTRY", "acceptance_matrix", "dump_artifact", "parse_budget",
-    "replay_artifact", "run_fuzz", "shrink_workload",
+    "DEFAULT_CONFIGS", "FUZZ_RELATIONS", "FUZZ_STORE_RELATIONS",
+    "FuzzFailure", "FuzzReport", "REGISTRY", "acceptance_matrix",
+    "dump_artifact", "parse_budget", "replay_artifact", "run_fuzz",
+    "shrink_workload",
 ]

@@ -14,6 +14,18 @@ and checks the predicted correspondence:
 * **self ≡ R ⋈ R** — the self-join equals the two-set join of a set
   with itself minus the diagonal (after canonicalisation).
 
+A second family targets the incremental :class:`~repro.service.EGOStore`
+— relations over *update sequences* rather than point sets:
+
+* **insert-union** — inserting the points in any batch split and then
+  joining equals the batch join of their union;
+* **insert-delete identity** — inserting extra points and deleting
+  them again returns the store to its previous pair set (and state
+  digest);
+* **store ε-nesting** — on one live store, ``set_epsilon`` to ε′ ≤ ε
+  shrinks the join to a subset (exercising the result cache across the
+  epsilon changes).
+
 Relations need no reference implementation, which makes them the layer
 that can catch a bug shared by *every* implementation (a misread of the
 paper, say) — the differential oracle alone cannot.
@@ -32,6 +44,9 @@ from .oracle import REGISTRY, run_impl
 
 RELATION_NAMES = ("permutation", "translation", "epsilon_nesting",
                   "rs_symmetry", "self_vs_rr")
+
+STORE_RELATION_NAMES = ("store_insert_union", "store_insert_delete",
+                        "store_epsilon_nesting")
 
 
 @dataclass
@@ -117,6 +132,129 @@ def check_self_vs_rr(impl: str, points: np.ndarray, epsilon: float,
     rr = ego_join(points, points, epsilon)
     diff = diff_pairs(self_pairs, canonical_pairs(rr.pairs()))
     return RelationReport("self_vs_rr", impl, diff.ok, diff.summary())
+
+
+def _fresh_store(epsilon: float, n: int):
+    from ..service import EGOStore
+
+    # A threshold below n so the relation sequences cross at least one
+    # compaction — delta, dead rows and main run all participate.
+    return EGOStore(epsilon, compact_threshold=max(4, n // 3))
+
+
+def check_store_insert_union(points: np.ndarray, epsilon: float,
+                             seed: int = 0,
+                             splits: int = 4) -> RelationReport:
+    """Insert-all-then-join ≡ the batch join of the union.
+
+    The points are inserted in ``splits`` randomly-sized batches (a
+    seeded split, so failures replay); the store's join must equal the
+    one-shot batch pipeline on the same set.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    store = _fresh_store(epsilon, len(pts))
+    rng = np.random.default_rng(seed)
+    cuts = np.sort(rng.integers(0, len(pts) + 1, size=max(0, splits - 1)))
+    for lo, hi in zip(np.r_[0, cuts], np.r_[cuts, len(pts)]):
+        if hi > lo:
+            store.insert(pts[lo:hi],
+                         ids=np.arange(lo, hi, dtype=np.int64))
+    batch = run_impl("ego", pts, epsilon)
+    diff = diff_pairs(batch, store.join())
+    return RelationReport("store_insert_union", "ego_store", diff.ok,
+                          diff.summary())
+
+
+def check_store_insert_delete(points: np.ndarray, epsilon: float,
+                              seed: int = 0,
+                              extras: int = 12) -> RelationReport:
+    """Inserting ``extras`` points and deleting them is the identity.
+
+    Identity on the *pair set*: after a final compaction the deleted
+    rows must leave no residue in any join.  The state digest and data
+    version, by contrast, must have advanced — a store that answered
+    from a stale snapshot would keep both unchanged.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    store = _fresh_store(epsilon, len(pts))
+    if len(pts):
+        store.insert(pts, ids=np.arange(len(pts), dtype=np.int64))
+    store.compact()
+    before = store.join()
+    digest_before = store.state_digest()
+    version_before = store.data_version
+    rng = np.random.default_rng(seed)
+    noise = rng.random((extras, pts.shape[1]))
+    ids = store.insert(noise)
+    store.delete(ids)
+    store.compact()
+    after = store.join()
+    diff = diff_pairs(before, after)
+    detail = diff.summary()
+    ok = diff.ok
+    if ok and store.state_digest() == digest_before:
+        ok = False
+        detail = ("state digest unchanged across insert+delete — the "
+                  "data version must advance")
+    if ok and store.data_version <= version_before:
+        ok = False
+        detail = "data version did not advance across insert+delete"
+    return RelationReport("store_insert_delete", "ego_store", ok, detail)
+
+
+def check_store_epsilon_nesting(points: np.ndarray,
+                                epsilons: Sequence[float],
+                                seed: int = 0) -> RelationReport:
+    """On one live store, joins along a growing ε ladder are nested.
+
+    Uses ``set_epsilon`` between joins (instead of per-call epsilons),
+    so the relation also exercises cache invalidation across epsilon
+    changes; each ε is joined twice to route the second read through
+    the cache.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    store = _fresh_store(max(float(e) for e in epsilons), len(pts))
+    if len(pts):
+        store.insert(pts, ids=np.arange(len(pts), dtype=np.int64))
+    previous = None
+    prev_eps = None
+    for eps in sorted(float(e) for e in epsilons):
+        store.set_epsilon(eps)
+        current = {tuple(r) for r in store.join()}
+        again = {tuple(r) for r in store.join()}
+        if again != current:
+            return RelationReport(
+                "store_epsilon_nesting", "ego_store", False,
+                f"cached join at ε={eps} differs from the fresh join")
+        if previous is not None and not previous <= current:
+            dropped = sorted(previous - current)[:5]
+            return RelationReport(
+                "store_epsilon_nesting", "ego_store", False,
+                f"pairs at ε={prev_eps} missing at ε={eps}: {dropped}")
+        previous, prev_eps = current, eps
+    return RelationReport("store_epsilon_nesting", "ego_store", True,
+                          f"nested over {len(epsilons)} epsilons")
+
+
+def run_store_relations(points: np.ndarray, epsilon: float, seed: int = 0,
+                        relations: Sequence[str] = STORE_RELATION_NAMES
+                        ) -> List[RelationReport]:
+    """Run the named update-sequence relations on one workload."""
+    reports: List[RelationReport] = []
+    for relation in relations:
+        if relation == "store_insert_union":
+            reports.append(check_store_insert_union(points, epsilon,
+                                                    seed=seed))
+        elif relation == "store_insert_delete":
+            reports.append(check_store_insert_delete(points, epsilon,
+                                                     seed=seed))
+        elif relation == "store_epsilon_nesting":
+            ladder = (0.5 * epsilon, epsilon, 1.5 * epsilon)
+            reports.append(check_store_epsilon_nesting(points, ladder,
+                                                       seed=seed))
+        else:
+            raise ValueError(f"unknown store relation {relation!r}")
+    return reports
 
 
 def run_relations(impl: str, points: np.ndarray, epsilon: float,

@@ -334,6 +334,108 @@ def _mux(points, epsilon, ids=None, *, page_bytes=2048, bucket_records=4,
     return canonical_pairs(report.result)
 
 
+# -- incremental store ------------------------------------------------------
+
+
+def _store_churn_index(n: int, seed: int) -> np.ndarray:
+    """Deterministic quarter of ``range(n)`` to delete and re-insert."""
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(n, size=max(1, n // 4), replace=False))
+
+
+@register("ego_store", options=("mode", "compact_threshold", "engine",
+                                "batch", "seed"))
+def _ego_store(points, epsilon, ids=None, *, mode="fresh",
+               compact_threshold=64, engine="auto", batch=17,
+               seed=5) -> np.ndarray:
+    """The incremental :class:`~repro.service.EGOStore`.
+
+    ``fresh`` builds the store from the batch and joins; ``churn``
+    inserts in small batches, then deletes a deterministic quarter of
+    the points and re-inserts it (same ids, same coordinates), so the
+    delta buffer, dead main rows and compaction all participate in the
+    final join.  Either way the live point set at join time is exactly
+    ``points``, so the result must equal every batch oracle's.
+    """
+    from ..service import EGOStore
+
+    pts = np.asarray(points, dtype=np.float64)
+    uids = np.arange(len(pts), dtype=np.int64) if ids is None \
+        else np.asarray(ids, dtype=np.int64)
+    store = EGOStore(epsilon, engine=engine,
+                     compact_threshold=compact_threshold)
+    if mode == "fresh":
+        if len(pts):
+            store.insert(pts, ids=uids)
+        store.compact()
+    elif mode == "churn":
+        for start in range(0, len(pts), batch):
+            store.insert(pts[start:start + batch],
+                         ids=uids[start:start + batch])
+        if len(pts):
+            idx = _store_churn_index(len(pts), seed)
+            store.delete(uids[idx])
+            store.insert(pts[idx], ids=uids[idx])
+    else:
+        raise ValueError(f"unknown store mode {mode!r}")
+    return canonical_pairs(store.join())
+
+
+@register("ego_store_replay", options=("compact_threshold", "crash_after",
+                                       "seed"))
+def _ego_store_replay(points, epsilon, ids=None, *, compact_threshold=48,
+                      crash_after=None, seed=7) -> np.ndarray:
+    """Crash + journal-replay variant of ``ego_store``.
+
+    A store applies a churn op sequence with a journal attached; the op
+    log is then truncated to ``crash_after`` entries (default: half) —
+    the crash-mid-sequence shape — a second store is recovered from the
+    truncated journal, and the lost tail is re-sent through the public
+    API.  The recovered store must match the original's
+    :meth:`~repro.service.EGOStore.state_digest` exactly; its join is
+    returned.
+    """
+    from ..service import EGOStore
+    from ..storage.journal import Journal
+
+    pts = np.asarray(points, dtype=np.float64)
+    uids = np.arange(len(pts), dtype=np.int64) if ids is None \
+        else np.asarray(ids, dtype=np.int64)
+    with tempfile.TemporaryDirectory(prefix="ego-store-") as td:
+        jpath = os.path.join(td, "store.journal")
+        store = EGOStore(epsilon, compact_threshold=compact_threshold,
+                         journal=jpath)
+        for start in range(0, len(pts), 13):
+            store.insert(pts[start:start + 13],
+                         ids=uids[start:start + 13])
+        if len(pts):
+            idx = _store_churn_index(len(pts), seed)
+            store.delete(uids[idx])
+            store.insert(pts[idx], ids=uids[idx])
+        expected_digest = store.state_digest()
+
+        jr = Journal(jpath)
+        ops = jr.store_ops()
+        cut = len(ops) // 2 if crash_after is None \
+            else min(int(crash_after), len(ops))
+        jr.state["store_ops"] = ops[:cut]
+        jr.flush()
+        recovered = EGOStore.recover(jr)
+        for op in ops[cut:]:  # the client re-sends what the crash lost
+            if op[0] == "insert":
+                recovered.insert(np.asarray(op[2], dtype=np.float64),
+                                 ids=np.asarray(op[1], dtype=np.int64))
+            elif op[0] == "delete":
+                recovered.delete(op[1])
+            else:
+                recovered.set_epsilon(float(op[1]))
+        if recovered.state_digest() != expected_digest:
+            raise AssertionError(
+                "journal replay digest mismatch: recovered store differs "
+                "from the store that wrote the log")
+        return canonical_pairs(recovered.join())
+
+
 # -- differential comparison ------------------------------------------------
 
 

@@ -19,6 +19,10 @@ reasoning of the EGO join (Lemmata 2 and 3) is most fragile against:
   partitioning (one shard inherits nearly all candidate pairs), which
   is what the adaptive shard planner of :mod:`repro.core.shard` must
   rebalance;
+* ``store_ops`` — boundary mates planted *across* the insertion order
+  (tail points against head anchors), so under the incremental store's
+  churned insert sequence the delta×main candidate windows carry pairs
+  straddling the ε predicate within a few ulps;
 * ``uniform`` — the baseline of the paper's experiments.
 
 All generators are pure functions of their seed; the same
@@ -41,7 +45,7 @@ BOUNDARY_DELTA = 2.0 ** -40
 
 WORKLOAD_KINDS: Tuple[str, ...] = (
     "uniform", "boundary", "duplicates", "degenerate", "clusters",
-    "skewed")
+    "skewed", "store_ops")
 
 
 @dataclass
@@ -134,6 +138,35 @@ def _skewed(n: int, dimensions: int, epsilon: float,
     return np.clip(pts, 0.0, 1.0)
 
 
+def _store_ops(n: int, dimensions: int, epsilon: float,
+               rng: np.random.Generator) -> np.ndarray:
+    """Boundary mates planted across the insertion order.
+
+    The head of the array is a uniform base; every tail point is a
+    mate at distance ε·(1 ± 2⁻⁴⁰) of a random head anchor.  A store
+    that inserts this array in order holds exactly the tail in its
+    delta buffer at query time (below the compaction threshold), so
+    the delta×main cross-join — the path batch joins never take — has
+    to decide predicate membership at ulp distance.
+    """
+    n_tail = max(1, n // 4)
+    n_head = max(1, n - n_tail)
+    head = rng.random((n_head, dimensions))
+    tail = []
+    side = 1.0
+    while len(tail) < n_tail:
+        anchor = head[rng.integers(0, n_head)]
+        direction = rng.normal(size=dimensions)
+        norm = np.linalg.norm(direction)
+        if norm == 0.0:
+            continue
+        direction /= norm
+        radius = epsilon * (1.0 + side * BOUNDARY_DELTA)
+        side = -side
+        tail.append(anchor + radius * direction)
+    return np.concatenate([head, np.asarray(tail)])[:n]
+
+
 def generate_workload(kind: str, n: int, dimensions: int, epsilon: float,
                       seed: int) -> Workload:
     """Generate one seeded workload of the named ``kind``."""
@@ -153,6 +186,8 @@ def generate_workload(kind: str, n: int, dimensions: int, epsilon: float,
         pts = _degenerate(n, dimensions, epsilon, rng)
     elif kind == "skewed":
         pts = _skewed(n, dimensions, epsilon, rng)
+    elif kind == "store_ops":
+        pts = _store_ops(n, dimensions, epsilon, rng)
     else:
         pts = gaussian_clusters(n, dimensions, clusters=max(2, n // 40),
                                 std=epsilon / 2, seed=rng)

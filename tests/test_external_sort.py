@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.ego_join import ego_key_function
 from repro.core.ego_order import ego_key, is_ego_sorted
-from repro.sorting.external_sort import external_sort
+from repro.sorting.external_sort import external_sort, merge_sorted_arrays
 from repro.storage.disk import SimulatedDisk
 from repro.storage.pagefile import PointFile
 
@@ -161,3 +161,47 @@ class TestIOAccounting:
             external_sort(pf, dst, scratch, ego_key_function(0.2),
                           memory_records=40)
             assert src.counters.random_reads <= 1
+
+
+class TestMergeSortedArrays:
+    def _runs(self, rng, k, total):
+        """Random points cut into k runs, each sorted by (key, id)."""
+        key = ego_key_function(0.2)
+        pts = rng.random((total, 3))
+        ids = rng.permutation(total).astype(np.int64)
+        cuts = np.sort(rng.integers(0, total, size=k - 1))
+        runs = []
+        for lo, hi in zip(np.r_[0, cuts], np.r_[cuts, total]):
+            ri, rp = ids[lo:hi], pts[lo:hi]
+            keys = key(rp)
+            order = np.lexsort(
+                (ri,) + tuple(keys[:, c]
+                              for c in range(keys.shape[1] - 1, -1, -1)))
+            runs.append((ri[order], rp[order]))
+        return runs, key
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_vectorized_equals_heap_merge(self, rng, k):
+        """The lexsort fast path is the heap merge, bit for bit."""
+        runs, key = self._runs(rng, k, 257)
+        fast_ids, fast_pts = merge_sorted_arrays(runs, key)
+        heap_ids, heap_pts = merge_sorted_arrays(runs, key,
+                                                 via_heap=True)
+        assert np.array_equal(fast_ids, heap_ids)
+        assert np.array_equal(fast_pts, heap_pts)
+
+    def test_output_globally_sorted(self, rng):
+        runs, key = self._runs(rng, 3, 120)
+        ids, pts = merge_sorted_arrays(runs, key)
+        keys = [tuple(row) + (int(i),)
+                for row, i in zip(key(pts).tolist(), ids.tolist())]
+        assert keys == sorted(keys)
+
+    def test_empty_and_empty_runs(self):
+        key = ego_key_function(0.2)
+        ids, pts = merge_sorted_arrays([], key)
+        assert len(ids) == 0
+        empty = (np.empty(0, dtype=np.int64), np.empty((0, 3)))
+        one = (np.array([7], dtype=np.int64), np.array([[0.1, 0.2, 0.3]]))
+        ids, pts = merge_sorted_arrays([empty, one], key)
+        assert ids.tolist() == [7]

@@ -14,20 +14,29 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from hypothesis import stateful
+
 from repro.verify import (
     RELATION_NAMES,
     REGISTRY,
+    STORE_RELATION_NAMES,
     check_epsilon_nesting,
     check_permutation,
     check_rs_symmetry,
     check_self_vs_rr,
+    check_store_epsilon_nesting,
+    check_store_insert_delete,
+    check_store_insert_union,
     check_translation,
     diff_pairs,
     generate_workload,
     register,
     run_impl,
     run_relations,
+    run_store_relations,
 )
+
+from conftest import brute_truth
 
 EPS = 0.25
 
@@ -139,6 +148,113 @@ class TestRelationsCatchViolations:
         wl = generate_workload("duplicates", 40, 3, EPS, seed=3)
         report = check_permutation("_test_posdep", wl.points, EPS, seed=3)
         assert not report.ok
+
+
+# -- update-sequence relations on the incremental store ----------------------
+
+
+class TestStoreRelations:
+    @pytest.mark.parametrize("kind", ["uniform", "boundary", "duplicates",
+                                      "clusters"])
+    def test_store_relations_hold(self, kind):
+        wl = generate_workload(kind, 50, 3, EPS, seed=11)
+        for report in run_store_relations(wl.points, EPS, seed=11):
+            assert report.ok, report.describe()
+
+    def test_store_relation_names_all_run(self):
+        wl = generate_workload("uniform", 24, 2, EPS, seed=0)
+        reports = run_store_relations(wl.points, EPS)
+        assert tuple(r.relation for r in reports) == STORE_RELATION_NAMES
+
+    def test_unknown_store_relation_rejected(self):
+        wl = generate_workload("uniform", 8, 2, EPS, seed=0)
+        with pytest.raises(ValueError, match="unknown store relation"):
+            run_store_relations(wl.points, EPS, relations=("nope",))
+
+    def test_insert_union_direct(self):
+        wl = generate_workload("clusters", 40, 2, EPS, seed=2)
+        report = check_store_insert_union(wl.points, EPS, seed=2)
+        assert report.ok, report.describe()
+
+    def test_insert_delete_direct(self):
+        wl = generate_workload("boundary", 40, 2, EPS, seed=2)
+        report = check_store_insert_delete(wl.points, EPS, seed=2)
+        assert report.ok, report.describe()
+
+    def test_store_nesting_strict_on_boundary_workload(self):
+        """Planted just-outside mates appear only above ε — strictly."""
+        from repro.service import EGOStore
+
+        wl = generate_workload("boundary", 60, 3, EPS, seed=3)
+        store = EGOStore.from_points(wl.points, EPS)
+        at_eps = {tuple(r) for r in store.join()}
+        wide = {tuple(r) for r in store.join(EPS * (1 + 1e-6))}
+        assert at_eps < wide
+        report = check_store_epsilon_nesting(
+            wl.points, (0.5 * EPS, EPS, 1.5 * EPS), seed=3)
+        assert report.ok, report.describe()
+
+
+class StoreMachine(stateful.RuleBasedStateMachine):
+    """Random interleavings of store ops, brute-checked after each.
+
+    The model is a plain dict ``uid -> point``; after every rule the
+    store's join at the current ε must equal the brute-force join of
+    the model — the strongest form of the update-sequence relations.
+    """
+
+    EPS = 0.25
+    DIMS = 2
+
+    def __init__(self):
+        super().__init__()
+        from repro.service import EGOStore
+
+        self.store = EGOStore(self.EPS, compact_threshold=8, cache_size=4)
+        self.model = {}
+
+    @stateful.rule(seed=st.integers(0, 2**16), n=st.integers(1, 6))
+    def insert(self, seed, n):
+        pts = np.random.default_rng(seed).random((n, self.DIMS))
+        ids = self.store.insert(pts)
+        for uid, p in zip(ids.tolist(), pts):
+            self.model[uid] = p
+
+    @stateful.precondition(lambda self: self.model)
+    @stateful.rule(seed=st.integers(0, 2**16), k=st.integers(1, 3))
+    def delete(self, seed, k):
+        rng = np.random.default_rng(seed)
+        uids = rng.choice(sorted(self.model),
+                         size=min(k, len(self.model)), replace=False)
+        self.store.delete(uids)
+        for uid in uids.tolist():
+            del self.model[uid]
+
+    @stateful.rule(eps=st.floats(min_value=0.05, max_value=0.5))
+    def set_epsilon(self, eps):
+        self.store.set_epsilon(eps)
+
+    @stateful.rule()
+    def compact(self):
+        self.store.compact()
+
+    @stateful.invariant()
+    def join_matches_brute(self):
+        uids = sorted(self.model)
+        pts = np.array([self.model[u] for u in uids]) if uids \
+            else np.empty((0, self.DIMS))
+        positional = brute_truth(pts, self.store.epsilon)
+        want = {(min(uids[a], uids[b]), max(uids[a], uids[b]))
+                for a, b in positional}
+        got = {tuple(r) for r in self.store.join().tolist()}
+        assert got == want
+
+    @stateful.invariant()
+    def counts_agree(self):
+        assert len(self.store) == len(self.model)
+
+
+TestStoreMachine = StoreMachine.TestCase
 
 
 # -- property-based sweeps (seed-driven, deterministic under the profile) ----

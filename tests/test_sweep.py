@@ -44,23 +44,34 @@ class TestPresortedFileJoin:
         assert report.sort_io_time_s == 0.0
         assert report.sort_stats.records_sorted == 0
 
-    @pytest.mark.parametrize("factor", [2, 3])
-    def test_integer_multiple_epsilon(self, sorted_setup, factor):
-        """A file sorted at eps is also sorted at k*eps."""
+    @pytest.mark.parametrize("factor", [1.5, 2, 3])
+    def test_larger_epsilon_resorts(self, sorted_setup, factor):
+        """ε above the sort ε re-sorts — no coarser grid keeps the order.
+
+        Regression for the removed k·εs shortcut: fine lexicographic
+        order does not imply coarse lexicographic order, so a file
+        sorted at εs must be re-sorted for any larger join ε (integer
+        multiples included) to stay exact.
+        """
         pts, eps_sort, sorted_file = sorted_setup
         eps = eps_sort * factor
         report = ego_self_join_file(sorted_file, eps, unit_bytes=800,
                                     buffer_units=4, assume_sorted=True,
                                     sorted_epsilon=eps_sort)
         assert report.result.canonical_pair_set() == brute_truth(pts, eps)
+        assert report.sort_stats.records_sorted == len(pts)
 
-    def test_non_multiple_above_sort_epsilon_rejected(self, sorted_setup):
-        _pts, eps_sort, sorted_file = sorted_setup
-        with pytest.raises(ValueError, match="integer multiples"):
-            ego_self_join_file(sorted_file, eps_sort * 1.5,
-                               unit_bytes=800, buffer_units=4,
-                               assume_sorted=True,
-                               sorted_epsilon=eps_sort)
+    def test_multiple_epsilon_shortcut_was_unsound(self, rng):
+        """The coarse order a k·εs join needs differs from the fine order.
+
+        Documents why the shortcut had to go: on enough random data the
+        fine-sorted permutation is not sorted for the doubled width.
+        """
+        from repro.core.ego_order import ego_sorted, grid_cells
+        pts = rng.random((400, 4))
+        _ids, spts = ego_sorted(pts, 0.1)
+        coarse = [tuple(r) for r in grid_cells(spts, 0.4).tolist()]
+        assert coarse != sorted(coarse)
 
     def test_assume_sorted_default_epsilon(self, sorted_setup):
         """Without sorted_epsilon the file must be sorted at epsilon."""
