@@ -1,8 +1,10 @@
 """Cost model, calibration and experiment reporting."""
 
 from .calibrate import measure_avg_dimension_evals, measure_ordering_gain
-from .optimizer import (EgoCostEstimate, backward_fraction, calibrate_cpu,
-                        choose_unit_size, estimate_ego_join,
+from .optimizer import (EgoCostEstimate, LSHCostEstimate,
+                        backward_fraction, calibrate_cpu,
+                        choose_join_impl, choose_unit_size,
+                        estimate_ego_join, estimate_lsh_join,
                         interval_fraction)
 from .costmodel import (CPUModel, DEFAULT_CPU_MODEL, NestedLoopEstimate,
                         ego_total_time, join_total_time,
@@ -14,10 +16,13 @@ from .selectivity import grid_selectivity, sample_selectivity
 __all__ = [
     "CPUModel",
     "EgoCostEstimate",
+    "LSHCostEstimate",
     "backward_fraction",
     "calibrate_cpu",
+    "choose_join_impl",
     "choose_unit_size",
     "estimate_ego_join",
+    "estimate_lsh_join",
     "interval_fraction",
     "grid_selectivity",
     "sample_selectivity",

@@ -24,6 +24,15 @@ recursion's pruning interacts with the data); it is calibrated by
 running the in-memory join on a small sample and scaling the measured
 distance-calculation density quadratically — a standard optimizer
 technique (sample-based selectivity estimation).
+
+The module also models the *approximate* regime: ``estimate_lsh_join``
+predicts the LSH engine's cost from the same statistics (one input
+scan, ``L`` bucket-file writes and scans, hashing work, and an expected
+candidate volume from the p-stable collision model at the mean random
+distance), and ``choose_join_impl`` compares the two predictions — this
+is what lets ``--impl auto`` route high-d/large-ε workloads, where the
+ε-grid order degenerates, to LSH when a recall target below 1 is
+acceptable.
 """
 
 from __future__ import annotations
@@ -150,6 +159,143 @@ def estimate_ego_join(n: int, dimensions: int, epsilon: float,
         interval_units=interval_units, gallop=gallop,
         predicted_unit_loads=loads, sort_runs=sort_runs,
         sort_passes=sort_passes, predicted_io_time_s=io_time)
+
+
+@dataclass
+class LSHCostEstimate:
+    """Predicted cost of one LSH approximate self-join configuration."""
+
+    n: int
+    dimensions: int
+    epsilon: float
+    k: int
+    tables: int
+    w: float
+    model_recall: float
+    #: Expected candidate pairs over all tables (collision model at the
+    #: mean uniform-random distance; near pairs are a lower-order term).
+    predicted_candidates: float
+    predicted_io_time_s: float
+    predicted_cpu_time_s: float
+
+    @property
+    def predicted_total_s(self) -> float:
+        """Predicted I/O plus CPU seconds."""
+        return self.predicted_io_time_s + self.predicted_cpu_time_s
+
+
+def estimate_lsh_join(n: int, dimensions: int, epsilon: float,
+                      k: Optional[int] = None,
+                      tables: Optional[int] = None,
+                      recall_target: float = 0.95,
+                      w_scale: Optional[float] = None,
+                      disk_model: Optional[DiskModel] = None,
+                      cpu_model: CPUModel = DEFAULT_CPU_MODEL,
+                      data_extent: float = 1.0) -> LSHCostEstimate:
+    """Predict the cost of the LSH approximate self-join.
+
+    I/O: the input streams once, and every one of the ``L`` tables
+    writes its bucket file sequentially and scans it back — ``(1+2L)``
+    database transfers with a handful of repositionings, all
+    sequential-rate.  CPU: ``n·k·L`` projections of ``d`` coordinates,
+    plus one exact re-verification per expected candidate.  The
+    candidate volume uses the collision model at the mean distance of
+    uniform random pairs, ``c̄ = extent·√(d/6)`` (the variance of a
+    uniform coordinate difference is 1/6 per dimension) — the dominant
+    population; genuinely-near pairs add a lower-order term.
+    """
+    if n < 0 or dimensions <= 0 or epsilon <= 0:
+        raise ValueError("invalid dataset parameters")
+    from ..index.lsh import DEFAULT_K, DEFAULT_W_SCALE, PStableHashFamily
+
+    disk_model = disk_model if disk_model is not None else DiskModel()
+    family = PStableHashFamily(
+        dimensions, epsilon, k=DEFAULT_K if k is None else k,
+        w_scale=DEFAULT_W_SCALE if w_scale is None else w_scale)
+    if tables is None:
+        tables = family.tables_for_recall(recall_target)
+    rec = record_size(dimensions)
+    db_bytes = n * rec
+    transfers = (1 + 2 * tables) * db_bytes
+    io_time = (transfers / disk_model.transfer_rate_bytes
+               + (1 + 2 * tables) * disk_model.avg_access_time_s)
+
+    mean_distance = data_extent * math.sqrt(dimensions / 6.0)
+    p_random = family.table_collision(mean_distance)
+    candidate_pairs = tables * (n * (n - 1) / 2.0) * p_random
+    hash_evals = float(n) * family.k * tables * dimensions
+    verify_evals = candidate_pairs * dimensions
+    cpu_time = ((hash_evals + verify_evals)
+                * cpu_model.per_dimension_eval_s
+                + candidate_pairs * cpu_model.per_distance_call_s)
+    return LSHCostEstimate(
+        n=n, dimensions=dimensions, epsilon=epsilon, k=family.k,
+        tables=int(tables), w=family.w,
+        model_recall=family.recall_for_tables(tables),
+        predicted_candidates=candidate_pairs,
+        predicted_io_time_s=io_time, predicted_cpu_time_s=cpu_time)
+
+
+def choose_join_impl(n: int, dimensions: int, epsilon: float,
+                     unit_bytes: int, buffer_units: int,
+                     recall_target: Optional[float] = 0.95,
+                     disk_model: Optional[DiskModel] = None,
+                     cpu_model: CPUModel = DEFAULT_CPU_MODEL,
+                     data_extent: float = 1.0):
+    """Pick ``"ego"`` or ``"lsh"`` from the two cost predictions.
+
+    Returns ``(impl, ego_estimate, lsh_estimate)``.  The exact join
+    wins whenever the caller demands exactness (``recall_target`` of
+    ``None`` or ≥ 1), when the dataset is degenerate, or when its
+    predicted total is lower; LSH wins in the high-d/large-ε regime
+    where the ε-interval covers most of the grid order and EGO's
+    window degenerates toward quadratic loads.  ``lsh_estimate`` is
+    ``None`` only when LSH was not admissible (exactness demanded or
+    the recall target unreachable at the default operating point).
+    """
+    ego_est = estimate_ego_join(n, dimensions, epsilon, unit_bytes,
+                                buffer_units, disk_model=disk_model,
+                                cpu_model=cpu_model,
+                                data_extent=data_extent)
+    ego_cpu = estimate_lsh_cpu_reference(n, dimensions, epsilon,
+                                         cpu_model=cpu_model,
+                                         data_extent=data_extent)
+    if recall_target is None or recall_target >= 1.0 or n < 2:
+        return "ego", ego_est, None
+    try:
+        lsh_est = estimate_lsh_join(n, dimensions, epsilon,
+                                    recall_target=recall_target,
+                                    disk_model=disk_model,
+                                    cpu_model=cpu_model,
+                                    data_extent=data_extent)
+    except ValueError:
+        return "ego", ego_est, None
+    ego_total = ego_est.predicted_io_time_s + ego_cpu
+    impl = "lsh" if lsh_est.predicted_total_s < ego_total else "ego"
+    return impl, ego_est, lsh_est
+
+
+def estimate_lsh_cpu_reference(n: int, dimensions: int, epsilon: float,
+                               cpu_model: CPUModel = DEFAULT_CPU_MODEL,
+                               data_extent: float = 1.0) -> float:
+    """Closed-form CPU seconds for the exact join, for comparison.
+
+    The EGO estimate's CPU half normally comes from sample calibration
+    (:func:`calibrate_cpu`); when the optimizer only has statistics, a
+    selectivity model has to stand in.  The ε-interval in dimension 0
+    admits a fraction ``min(1, 2ε/extent)`` of the pairs as candidates;
+    each costs one early-aborted distance evaluation (~2 dimensions on
+    uniform data before the running sum exceeds ε²) — deliberately
+    optimistic for EGO, so ``choose_join_impl`` only routes to LSH on a
+    clear win.
+    """
+    if n < 2:
+        return 0.0
+    candidate_fraction = interval_fraction(epsilon, data_extent)
+    candidates = candidate_fraction * n * (n - 1) / 2.0
+    dims_per_test = min(dimensions, 2.0)
+    return (candidates * dims_per_test * cpu_model.per_dimension_eval_s
+            + candidates * cpu_model.per_distance_call_s)
 
 
 def calibrate_cpu(points_sample: np.ndarray, epsilon: float, n_target: int,

@@ -80,18 +80,24 @@ def speedup_summary(times: Mapping[str, Sequence[float]],
 
 
 def robustness_summary(report) -> Sequence[Mapping[str, Cell]]:
-    """Rows describing the fault/recovery behaviour of one external join.
+    """Rows describing the fault/recovery behaviour of one join run.
 
-    ``report`` is an
+    ``report`` is usually an
     :class:`~repro.core.ego_join.ExternalJoinReport`; the rows pair the
     faults the plan injected with what the detection and recovery layers
     did about them, ready for :func:`format_table`::
 
         print(format_table(robustness_summary(report),
                            title="robustness"))
+
+    Every attribute is read tolerantly, so reports of other shapes —
+    in particular the approximate :class:`~repro.joins.lsh_join.
+    LSHJoinReport`, which has no fault plan, schedule or resume state —
+    render their applicable subset (including recall/candidate rows)
+    instead of raising.
     """
     rows = []
-    log = report.faults
+    log = getattr(report, "faults", None)
     if log is not None:
         rows.append({"metric": "injected transient read errors",
                      "value": log.transient_read_errors})
@@ -100,19 +106,38 @@ def robustness_summary(report) -> Sequence[Mapping[str, Cell]]:
         rows.append({"metric": "injected torn writes",
                      "value": log.torn_writes})
         rows.append({"metric": "injected crashes", "value": log.crashes})
-    io = report.io
-    rows.append({"metric": "read faults seen", "value": io.read_faults})
-    rows.append({"metric": "reads retried", "value": io.read_retries})
-    rows.append({"metric": "corrupt pages detected",
-                 "value": io.corrupt_pages})
-    rows.append({"metric": "retry backoff (simulated s)",
-                 "value": io.retry_backoff_s})
-    rows.append({"metric": "resumed run", "value": report.resumed})
-    if report.resumed:
+    io = getattr(report, "io", None)
+    if io is not None:
+        rows.append({"metric": "read faults seen", "value": io.read_faults})
+        rows.append({"metric": "reads retried", "value": io.read_retries})
+        rows.append({"metric": "corrupt pages detected",
+                     "value": io.corrupt_pages})
+        rows.append({"metric": "retry backoff (simulated s)",
+                     "value": io.retry_backoff_s})
+    resumed = getattr(report, "resumed", None)
+    if resumed is not None:
+        rows.append({"metric": "resumed run", "value": resumed})
+    schedule = getattr(report, "schedule_stats", None)
+    if resumed and schedule is not None:
         rows.append({"metric": "unit pairs skipped as done",
-                     "value": report.schedule_stats.pairs_resumed})
-    rows.append({"metric": "buffer shrinks under pressure",
-                 "value": report.schedule_stats.pressure_shrinks})
+                     "value": schedule.pairs_resumed})
+    if schedule is not None:
+        rows.append({"metric": "buffer shrinks under pressure",
+                     "value": schedule.pressure_shrinks})
+    lsh = getattr(report, "lsh", None)
+    if lsh is not None:
+        rows.append({"metric": "lsh tables (k per table)",
+                     "value": f"{lsh.tables} ({lsh.k})"})
+        rows.append({"metric": "lsh buckets scanned",
+                     "value": lsh.buckets})
+        rows.append({"metric": "lsh candidate pairs",
+                     "value": lsh.candidates})
+        rows.append({"metric": "lsh candidates verified in-ε",
+                     "value": lsh.verified})
+        rows.append({"metric": "lsh duplicate pairs dropped",
+                     "value": lsh.duplicates})
+        rows.append({"metric": "lsh model recall at ε",
+                     "value": round(lsh.model_recall, 4)})
     wf = getattr(report, "worker_faults", None)
     if wf is not None:
         rows.append({"metric": "injected worker crashes",
@@ -148,9 +173,14 @@ def robustness_summary(report) -> Sequence[Mapping[str, Cell]]:
                      "value": sum(s.retries for s in shards)})
         rows.append({"metric": "shards degraded inline",
                      "value": sum(1 for s in shards if s.degraded)})
-    if report.total_pairs is not None:
+    total_pairs = getattr(report, "total_pairs", None)
+    if total_pairs is None:
+        result = getattr(report, "result", None)
+        if result is not None:
+            total_pairs = result.count
+    if total_pairs is not None:
         rows.append({"metric": "total result pairs",
-                     "value": report.total_pairs})
+                     "value": total_pairs})
     return rows
 
 

@@ -229,6 +229,12 @@ def cmd_join(args) -> int:
             raise ValueError("--shards must be at least 1")
         if args.task_retries < 0:
             raise ValueError("--task-retries must be >= 0")
+        if args.impl in ("lsh", "auto") and args.metric != "euclidean":
+            raise ValueError(
+                "--impl lsh/auto requires the euclidean metric "
+                "(p-stable projections model L2 distances)")
+        if not 0.0 < args.recall_target < 1.0:
+            raise ValueError("--recall-target must be in (0, 1)")
         _check_batch_knobs(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -242,6 +248,20 @@ def cmd_join(args) -> int:
         pf = PointFile.open(disk)
         unit_bytes, buffer_units = _budget_geometry(
             pf.count, pf.dimensions, args.buffer_fraction)
+        impl = args.impl
+        if impl == "auto":
+            from .analysis.optimizer import choose_join_impl
+            impl, ego_est, lsh_est = choose_join_impl(
+                pf.count, pf.dimensions, args.epsilon, unit_bytes,
+                buffer_units, recall_target=args.recall_target)
+            detail = f"predicted ego {ego_est.predicted_io_time_s:.3f}s"
+            if lsh_est is not None:
+                detail += (f" vs lsh {lsh_est.predicted_total_s:.3f}s "
+                           f"(L={lsh_est.tables}, model recall "
+                           f"{lsh_est.model_recall:.3f})")
+            print(f"impl auto -> {impl} ({detail})", file=sys.stderr)
+        if impl == "lsh":
+            return _run_lsh_join(args, pf, tracer, registry, profiler)
         try:
             report = ego_self_join_file(pf, args.epsilon,
                                         unit_bytes=unit_bytes,
@@ -314,6 +334,43 @@ def cmd_join(args) -> int:
               f"{sup.crashes_detected} worker crashes) — results are "
               f"complete and exact", file=sys.stderr)
         return 3
+    return 0
+
+
+def _run_lsh_join(args, pf, tracer, registry, profiler) -> int:
+    """Run the approximate LSH join branch of ``repro join``."""
+    from .index.lsh import DEFAULT_K, DEFAULT_W_SCALE
+    from .joins.lsh_join import lsh_self_join_file
+
+    try:
+        report = lsh_self_join_file(
+            pf, args.epsilon,
+            k=args.lsh_k if args.lsh_k is not None else DEFAULT_K,
+            tables=args.lsh_tables,
+            recall_target=args.recall_target,
+            w_scale=(args.lsh_width if args.lsh_width is not None
+                     else DEFAULT_W_SCALE),
+            seed=args.lsh_seed, engine=args.engine,
+            backend=args.backend, materialize=not args.count_only,
+            trace=tracer, metrics=registry)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _dump_obs(args, tracer, registry, profiler)
+    stats = report.lsh
+    print(f"pairs: {report.result.count} (approximate: model recall "
+          f"{stats.model_recall:.4f} at ε, precision exact)",
+          file=sys.stderr)
+    print(f"lsh: k={stats.k} L={stats.tables} w={stats.w:g} "
+          f"seed={stats.seed} backend={stats.backend}; "
+          f"{stats.buckets} buckets, {stats.candidates} candidates, "
+          f"{stats.verified} verified; "
+          f"simulated I/O: {report.simulated_io_time_s:.3f}s",
+          file=sys.stderr)
+    print(format_table(robustness_summary(report), title="lsh"),
+          file=sys.stderr)
+    if not args.count_only and report.result.materialize:
+        _print_pairs(report.result, args.limit)
     return 0
 
 
@@ -614,6 +671,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "scalar"],
                    help="leaf distance kernel (auto picks batched or "
                         "matmul per leaf)")
+    j.add_argument("--impl", default="ego",
+                   choices=["ego", "lsh", "auto"],
+                   help="join algorithm: exact external EGO (default), "
+                        "approximate LSH (precision 1.0, recall bounded "
+                        "below by the collision model), or auto (the "
+                        "cost model picks; LSH wins in high-d/large-ε "
+                        "regimes)")
+    j.add_argument("--recall-target", type=float, default=0.95,
+                   metavar="R",
+                   help="LSH: auto-size the table count so model recall "
+                        "at distance ε meets R (default 0.95; ignored "
+                        "with --lsh-tables)")
+    j.add_argument("--lsh-k", type=int, default=None, metavar="K",
+                   help="LSH: projections concatenated per table "
+                        "(default 2)")
+    j.add_argument("--lsh-tables", type=int, default=None, metavar="L",
+                   help="LSH: explicit table count (overrides "
+                        "--recall-target)")
+    j.add_argument("--lsh-width", type=float, default=None, metavar="W",
+                   help="LSH: projection width in units of ε "
+                        "(default 4.0)")
+    j.add_argument("--lsh-seed", type=int, default=0, metavar="N",
+                   help="LSH: hash-family seed (same seed, same result)")
     j.add_argument("--batch-points", type=int, default=None, metavar="N",
                    help="batched engine: flush a leaf batch once its "
                         "stacked blocks hold N rows (default 4096)")

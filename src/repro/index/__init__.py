@@ -1,8 +1,11 @@
-"""Index substrate: MBR geometry, R-tree, Multipage Index, ε-kdB-tree."""
+"""Index substrate: MBR geometry, R-tree, Multipage Index, ε-kdB-tree,
+p-stable LSH."""
 
 from .dynamic_rtree import DynamicRTree, InsertStats
 from .epskdb import (EpsKdbCacheError, EpsKdbNode, StripedDataset,
                      build_tree)
+from .lsh import (DEFAULT_K, DEFAULT_W_SCALE, MAX_TABLES,
+                  PStableHashFamily, collision_probability, sort_by_keys)
 from .mbr import (MBR, mindist_sq_batch, mindist_sq_point_batch, union_all)
 from .msj import (LevelFile, LevelFiles, cell_at_level,
                   level_zero_probability, point_levels)
@@ -19,6 +22,12 @@ __all__ = [
     "level_zero_probability",
     "point_levels",
     "DEFAULT_FANOUT",
+    "DEFAULT_K",
+    "DEFAULT_W_SCALE",
+    "MAX_TABLES",
+    "PStableHashFamily",
+    "collision_probability",
+    "sort_by_keys",
     "EpsKdbCacheError",
     "EpsKdbNode",
     "HostingPage",

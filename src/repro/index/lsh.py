@@ -1,0 +1,251 @@
+"""p-stable locality-sensitive hashing for the Euclidean ε-join.
+
+The EGO join is exact by construction, but the paper's own experiments
+(Section 5, Figure 10) show its ε-grid order degrading as dimensionality
+and ε grow — the regime in which approximate methods win.  This module
+provides the hash-family substrate of the I/O-efficient LSH join
+(:mod:`repro.joins.lsh_join`), in the style of Datar et al.'s p-stable
+scheme as used by Pagh et al., *I/O-Efficient Similarity Join*.
+
+One *table* concatenates ``k`` independent projections
+
+    h_i(x) = floor((a_i · x + b_i) / w),     a_i ~ N(0, I),  b_i ~ U[0, w)
+
+into a bucket key; two points collide in the table iff all ``k``
+projections agree.  ``L`` independent tables are probed; a pair is a
+candidate iff it collides in at least one.  For two points at Euclidean
+distance ``c`` the per-projection collision probability has the closed
+form (with ``r = w / c``)
+
+    p(c) = 1 − 2·Φ(−r) − (2 / (√(2π)·r)) · (1 − exp(−r²/2)),
+
+monotone decreasing in ``c`` — which makes the family *locality
+sensitive* and yields the recall model ``1 − (1 − p(ε)^k)^L`` that
+:func:`tables_for_recall` inverts to auto-size ``L``.
+
+Determinism contract: the parameters of table ``t`` are a pure function
+of ``(seed, t)`` — independent of ``L`` — so the table sequence of a
+family with ``L + 1`` tables extends the one with ``L`` tables.  The
+candidate set is therefore monotone non-decreasing in ``L`` *exactly*
+(not merely in expectation), which is what the metamorphic relation
+``lsh_tables_monotone`` checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Domain-separation salt for the per-table generators, so an LSH family
+#: never shares a stream with workload generators using small seeds.
+_TABLE_SALT = 0x15AB
+
+#: Hard ceiling on auto-sized table counts: beyond this the requested
+#: recall is declared unreachable at the given (k, w) rather than
+#: silently building an absurd index.
+MAX_TABLES = 512
+
+#: Default number of concatenated projections per table.
+DEFAULT_K = 2
+
+#: Default projection width in units of ε.  ``w = 4ε`` puts the
+#: per-projection collision probability at ~0.80 for pairs at distance
+#: exactly ε, so small table counts already reach high recall.
+DEFAULT_W_SCALE = 4.0
+
+
+def collision_probability(ratio: float) -> float:
+    """Per-projection collision probability at width/distance ``ratio``.
+
+    ``ratio = w / c`` for projection width ``w`` and point distance
+    ``c``.  The closed form follows Datar et al. (2004): project the
+    difference vector onto a standard normal direction and integrate
+    the probability that both points land in the same width-``w`` bin.
+    Limits: → 1 as the ratio grows (close pairs nearly always collide),
+    → 0 as it shrinks.
+    """
+    if ratio < 0:
+        raise ValueError(f"width/distance ratio must be >= 0, got {ratio}")
+    if ratio == 0.0:
+        return 0.0
+    if math.isinf(ratio):
+        return 1.0
+    # Φ(−r) via erfc for precision at large r.
+    phi_neg = 0.5 * math.erfc(ratio / math.sqrt(2.0))
+    density_term = (2.0 / (math.sqrt(2.0 * math.pi) * ratio)
+                    * (1.0 - math.exp(-0.5 * ratio * ratio)))
+    return max(0.0, min(1.0, 1.0 - 2.0 * phi_neg - density_term))
+
+
+class PStableHashFamily:
+    """A seeded family of ``k``-projection p-stable hash tables.
+
+    Parameters
+    ----------
+    dimensions, epsilon:
+        Data dimensionality and the join threshold; the projection
+        width is ``w = w_scale · ε``.
+    k:
+        Projections concatenated per table.  Larger ``k`` sharpens the
+        p1/p2 gap (fewer spurious candidates) but lowers ``p1^k``, so
+        more tables are needed for the same recall.
+    w_scale:
+        Projection width in units of ε.
+    seed:
+        Seeds every table; table ``t`` depends only on ``(seed, t)``.
+    """
+
+    def __init__(self, dimensions: int, epsilon: float, k: int = DEFAULT_K,
+                 w_scale: float = DEFAULT_W_SCALE, seed: int = 0) -> None:
+        if dimensions < 1:
+            raise ValueError(f"dimensions must be positive, got {dimensions}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        if w_scale <= 0:
+            raise ValueError(f"w_scale must be positive, got {w_scale}")
+        self.dimensions = int(dimensions)
+        self.epsilon = float(epsilon)
+        self.k = int(k)
+        self.w_scale = float(w_scale)
+        self.w = self.w_scale * self.epsilon
+        self.seed = int(seed)
+        self._params: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    # -- per-table parameters ---------------------------------------------
+
+    def table_params(self, table: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Projection matrix ``(k, d)`` and offsets ``(k,)`` of one table.
+
+        Derived from ``(seed, table)`` alone and cached, so the same
+        family object (and any family with the same seed) always hashes
+        identically regardless of how many tables are ultimately probed.
+        """
+        if table < 0:
+            raise ValueError(f"table index must be >= 0, got {table}")
+        while len(self._params) <= table:
+            t = len(self._params)
+            rng = np.random.default_rng([_TABLE_SALT, self.seed, t])
+            a = rng.standard_normal((self.k, self.dimensions))
+            b = rng.uniform(0.0, self.w, size=self.k)
+            self._params.append((a, b))
+        return self._params[table]
+
+    def keys(self, points: np.ndarray, table: int) -> np.ndarray:
+        """Bucket keys ``(n, k)`` of ``points`` under one table.
+
+        Each row is the concatenated projection key; two points share a
+        bucket iff their rows are equal.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != self.dimensions:
+            raise ValueError(
+                f"points must have shape (n, {self.dimensions}), "
+                f"got {pts.shape}")
+        a, b = self.table_params(table)
+        projected = pts @ a.T + b
+        return np.floor(projected / self.w).astype(np.int64)
+
+    # -- the collision-probability model ----------------------------------
+
+    def projection_collision(self, distance: float) -> float:
+        """Single-projection collision probability at ``distance``."""
+        if distance < 0:
+            raise ValueError(f"distance must be >= 0, got {distance}")
+        if distance == 0.0:
+            return 1.0
+        return collision_probability(self.w / distance)
+
+    def table_collision(self, distance: float) -> float:
+        """Probability that one table's full ``k``-key matches."""
+        return self.projection_collision(distance) ** self.k
+
+    @property
+    def p1(self) -> float:
+        """Table-collision probability for pairs at distance exactly ε.
+
+        Pairs *inside* the ball are closer, so ``p1`` lower-bounds their
+        collision probability — the model's recall guarantees are
+        worst-case over the ε-ball.
+        """
+        return self.table_collision(self.epsilon)
+
+    def p2(self, separation: float = 2.0) -> float:
+        """Table-collision probability at ``separation``·ε (the far side).
+
+        The p1/p2 gap is the family's selectivity: candidates at
+        ``separation``·ε survive a table with probability ``p2``.
+        """
+        if separation <= 0:
+            raise ValueError(
+                f"separation must be positive, got {separation}")
+        return self.table_collision(separation * self.epsilon)
+
+    def recall_for_tables(self, tables: int,
+                          distance: Optional[float] = None) -> float:
+        """Model recall of an ``tables``-table probe at ``distance``.
+
+        Defaults to the worst case ``distance = ε``; the probability
+        that at least one table catches the pair is
+        ``1 − (1 − p^k)^L``.
+        """
+        if tables < 0:
+            raise ValueError(f"tables must be >= 0, got {tables}")
+        d = self.epsilon if distance is None else float(distance)
+        return 1.0 - (1.0 - self.table_collision(d)) ** tables
+
+    def tables_for_recall(self, recall_target: float,
+                          max_tables: int = MAX_TABLES) -> int:
+        """Smallest ``L`` whose model recall at distance ε meets the target.
+
+        Raises :class:`ValueError` when the target needs more than
+        ``max_tables`` tables — the (k, w) operating point is then too
+        weak for the requested recall and should be re-tuned instead of
+        silently exploding the index.
+        """
+        if not 0.0 < recall_target < 1.0:
+            raise ValueError(
+                f"recall_target must be in (0, 1), got {recall_target}")
+        p_table = self.p1
+        if p_table <= 0.0:
+            raise ValueError(
+                "table collision probability at ε is 0; increase w_scale "
+                "or decrease k")
+        if p_table >= 1.0:
+            return 1
+        tables = math.ceil(math.log1p(-recall_target)
+                           / math.log1p(-p_table))
+        tables = max(1, tables)
+        if tables > max_tables:
+            raise ValueError(
+                f"recall target {recall_target} needs {tables} tables at "
+                f"k={self.k}, w={self.w:g} (p1={p_table:.4g}) — above the "
+                f"cap of {max_tables}; increase w_scale or decrease k")
+        return tables
+
+
+def sort_by_keys(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Bucket order and boundaries for one table's key matrix.
+
+    Returns ``(order, starts)``: ``order`` sorts the rows of ``keys``
+    lexicographically (a stable sort, so the layout is deterministic),
+    and ``starts`` holds the start offsets of each bucket run in the
+    sorted order, with a trailing ``n`` sentinel — bucket ``i`` spans
+    ``order[starts[i]:starts[i+1]]``.
+    """
+    keys = np.asarray(keys)
+    n = len(keys)
+    if n == 0:
+        return (np.empty(0, dtype=np.intp),
+                np.array([0], dtype=np.intp))
+    order = np.lexsort(keys.T[::-1])
+    sorted_keys = keys[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    if n > 1:
+        boundary[1:] = (sorted_keys[1:] != sorted_keys[:-1]).any(axis=1)
+    starts = np.flatnonzero(boundary)
+    return order, np.append(starts, n).astype(np.intp)

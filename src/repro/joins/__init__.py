@@ -4,6 +4,8 @@ from .base import DiskTracker, JoinReport, compare_blocks, wall_clock
 from .brute import brute_force_join, brute_force_self_join
 from .epskdb_join import DEFAULT_NODE_CAPACITY, epskdb_self_join
 from .grid_hash import grid_hash_self_join, grid_prefix_dimensions
+from .lsh_join import (LSHJoinReport, LSHStats, lsh_self_join,
+                       lsh_self_join_file, write_bucket_file)
 from .msj_join import msj_self_join
 from .mux_join import mux_self_join
 from .spatial_hash import (DEFAULT_BUCKET_CAPACITY, spatial_hash_self_join)
@@ -21,6 +23,11 @@ __all__ = [
     "epskdb_self_join",
     "grid_hash_self_join",
     "grid_prefix_dimensions",
+    "LSHJoinReport",
+    "LSHStats",
+    "lsh_self_join",
+    "lsh_self_join_file",
+    "write_bucket_file",
     "msj_self_join",
     "mux_self_join",
     "spatial_hash_self_join",

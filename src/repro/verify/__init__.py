@@ -1,8 +1,10 @@
 """Differential verification subsystem.
 
-Machine-checks the property every PR claims informally: all join
+Machine-checks the property every PR claims informally: all exact join
 configurations — any algorithm, engine, worker count or storage wrapper
-— produce the identical pair set.  Four layers:
+— produce the identical pair set, and the approximate (LSH) engine
+produces a *subset* of it whose recall meets a configurable floor.
+Four layers:
 
 * :mod:`~repro.verify.canonical` — canonical pair sets, digests, diffs;
 * :mod:`~repro.verify.oracle` — the implementation registry and
@@ -24,13 +26,17 @@ from .fuzz import (DEFAULT_CONFIGS, FuzzFailure, FuzzReport,
                    acceptance_matrix, dump_artifact, parse_budget,
                    replay_artifact, run_fuzz, shrink_workload)
 from .invariants import InvariantMonitor, InvariantViolation, make_monitor
-from .metamorphic import (RELATION_NAMES, STORE_RELATION_NAMES,
+from .metamorphic import (LSH_RELATION_NAMES, RELATION_NAMES,
+                          STORE_RELATION_NAMES,
                           RelationReport, check_epsilon_nesting,
+                          check_lsh_determinism, check_lsh_precision,
+                          check_lsh_tables_monotone,
                           check_permutation, check_rs_symmetry,
                           check_self_vs_rr, check_store_epsilon_nesting,
                           check_store_insert_delete,
                           check_store_insert_union, check_translation,
-                          run_relations, run_store_relations)
+                          run_lsh_relations, run_relations,
+                          run_store_relations)
 from .oracle import (REGISTRY, STORAGE_MODES, DifferentialReport,
                      ImplOutcome, OracleEntry, differential_check,
                      implementations, register, run_impl)
@@ -44,6 +50,7 @@ __all__ = [
     "ImplOutcome",
     "InvariantMonitor",
     "InvariantViolation",
+    "LSH_RELATION_NAMES",
     "OracleEntry",
     "PairSetDiff",
     "REGISTRY",
@@ -56,6 +63,9 @@ __all__ = [
     "acceptance_matrix",
     "canonical_pairs",
     "check_epsilon_nesting",
+    "check_lsh_determinism",
+    "check_lsh_precision",
+    "check_lsh_tables_monotone",
     "check_permutation",
     "check_rs_symmetry",
     "check_self_vs_rr",
@@ -75,6 +85,7 @@ __all__ = [
     "replay_artifact",
     "run_fuzz",
     "run_impl",
+    "run_lsh_relations",
     "run_relations",
     "run_store_relations",
     "shrink_workload",

@@ -29,7 +29,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .canonical import pair_digest
-from .metamorphic import run_relations, run_store_relations
+from .metamorphic import (run_lsh_relations, run_relations,
+                          run_store_relations)
 from .oracle import REGISTRY, differential_check, run_impl
 from .workloads import WORKLOAD_KINDS, generate_workload
 
@@ -59,6 +60,18 @@ DEFAULT_CONFIGS: Tuple[Tuple[str, Dict[str, object]], ...] = (
     ("rsj", {}),
     ("mux", {}),
     ("zorder_rsj", {}),
+    # The approximate engine is judged by the recall floor, not digest
+    # equality.  Fuzz workloads are tiny (tens of pairs), so two guards
+    # keep the seeded runs deterministic-safe: a high recall_target
+    # (0.999 — the auto-sized L makes each miss a ≤1e-3 event) plus a
+    # miss_allowance of 2, because the model *permits* rare misses and
+    # on a 3-pair workload a single one would crater a relative floor.
+    # Failing now needs ≥3 misses in one trial (~1e-9 per run).
+    ("lsh", {"recall_target": 0.999, "seed": 1, "miss_allowance": 2}),
+    ("lsh", {"recall_target": 0.999, "seed": 2, "engine": "matmul",
+             "backend": "memory", "miss_allowance": 2}),
+    ("lsh", {"k": 1, "tables": 8, "seed": 3, "backend": "file",
+             "miss_allowance": 2}),
 )
 
 #: Metamorphic relations checked per trial (on the in-memory EGO join;
@@ -69,6 +82,10 @@ FUZZ_RELATIONS = ("permutation", "translation", "epsilon_nesting",
 #: Update-sequence relations checked per trial on the incremental store.
 FUZZ_STORE_RELATIONS = ("store_insert_union", "store_insert_delete",
                         "store_epsilon_nesting")
+
+#: Approximate-join relations checked per trial on the LSH engine.
+FUZZ_LSH_RELATIONS = ("lsh_precision", "lsh_tables_monotone",
+                      "lsh_determinism")
 
 
 @dataclass
@@ -151,6 +168,9 @@ def _check_workload(points: np.ndarray, epsilon: float,
                               relations=FUZZ_RELATIONS)
     relations += run_store_relations(points, epsilon,
                                      relations=FUZZ_STORE_RELATIONS)
+    relations += run_lsh_relations(points, epsilon,
+                                   relations=FUZZ_LSH_RELATIONS,
+                                   seed=1)
     checks += len(relations)
     for rel in relations:
         if not rel.ok:
@@ -327,7 +347,8 @@ def acceptance_matrix(points: np.ndarray, epsilon: float,
 
 # Re-export for CLI convenience.
 __all__ = [
-    "DEFAULT_CONFIGS", "FUZZ_RELATIONS", "FUZZ_STORE_RELATIONS",
+    "DEFAULT_CONFIGS", "FUZZ_LSH_RELATIONS", "FUZZ_RELATIONS",
+    "FUZZ_STORE_RELATIONS",
     "FuzzFailure", "FuzzReport", "REGISTRY", "acceptance_matrix",
     "dump_artifact", "parse_budget", "replay_artifact", "run_fuzz",
     "shrink_workload",

@@ -26,6 +26,20 @@ A second family targets the incremental :class:`~repro.service.EGOStore`
   shrinks the join to a subset (exercising the result cache across the
   epsilon changes).
 
+A third family targets *approximate* joins (the LSH engine), whose
+pair set is not unique — so the relations pin down what is invariant
+anyway:
+
+* **precision-1** — the reported pairs are always a subset of the
+  exact result (candidates are exactly re-verified, so approximation
+  may only ever *miss*, never invent);
+* **tables-monotone** — the reported pair set is monotone
+  non-decreasing in the table count ``L`` (exactly, not just in
+  expectation: table ``t`` of the hash family depends only on
+  ``(seed, t)``, so an ``L+1``-table run probes a superset of buckets);
+* **determinism** — same-seed runs are bit-identical (equal canonical
+  digests), making every approximate failure replayable.
+
 Relations need no reference implementation, which makes them the layer
 that can catch a bug shared by *every* implementation (a misread of the
 paper, say) — the differential oracle alone cannot.
@@ -39,7 +53,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.ego_join import ego_join
-from .canonical import canonical_pairs, diff_pairs
+from .canonical import canonical_pairs, diff_pairs, pair_digest
 from .oracle import REGISTRY, run_impl
 
 RELATION_NAMES = ("permutation", "translation", "epsilon_nesting",
@@ -47,6 +61,9 @@ RELATION_NAMES = ("permutation", "translation", "epsilon_nesting",
 
 STORE_RELATION_NAMES = ("store_insert_union", "store_insert_delete",
                         "store_epsilon_nesting")
+
+LSH_RELATION_NAMES = ("lsh_precision", "lsh_tables_monotone",
+                      "lsh_determinism")
 
 
 @dataclass
@@ -234,6 +251,87 @@ def check_store_epsilon_nesting(points: np.ndarray,
         previous, prev_eps = current, eps
     return RelationReport("store_epsilon_nesting", "ego_store", True,
                           f"nested over {len(epsilons)} epsilons")
+
+
+def check_lsh_precision(points: np.ndarray, epsilon: float,
+                        impl: str = "lsh", reference: str = "brute",
+                        **options) -> RelationReport:
+    """Reported pairs are a subset of the exact result, always.
+
+    This is the precision-1 invariant: an approximate join may miss
+    pairs (recall < 1) but a single pair outside the exact result means
+    the re-verification step is broken, not the hashing.
+    """
+    exact = run_impl(reference, points, epsilon)
+    approx = run_impl(impl, points, epsilon, **options)
+    diff = diff_pairs(exact, approx)
+    ok = len(diff.extra) == 0
+    detail = (f"{len(approx)}/{len(exact)} pairs reported, "
+              f"{len(diff.extra)} outside the exact result")
+    return RelationReport("lsh_precision", impl, ok, detail)
+
+
+def check_lsh_tables_monotone(points: np.ndarray, epsilon: float,
+                              impl: str = "lsh",
+                              ladder: Sequence[int] = (1, 2, 4),
+                              **options) -> RelationReport:
+    """The reported pair set is monotone non-decreasing in ``L``.
+
+    Exact set inclusion, not a count comparison: the hash family's
+    determinism contract makes an ``L+1``-table probe a strict superset
+    of the ``L``-table probe's buckets, so any dropped pair is a bug.
+    """
+    options = dict(options)
+    options.pop("tables", None)
+    options.pop("recall_target", None)
+    previous = None
+    prev_tables = None
+    for tables in sorted(int(t) for t in ladder):
+        current = {tuple(r) for r in
+                   run_impl(impl, points, epsilon, tables=tables,
+                            **options)}
+        if previous is not None and not previous <= current:
+            dropped = sorted(previous - current)[:5]
+            return RelationReport(
+                "lsh_tables_monotone", impl, False,
+                f"pairs at L={prev_tables} missing at L={tables}: "
+                f"{dropped}")
+        previous, prev_tables = current, tables
+    return RelationReport("lsh_tables_monotone", impl, True,
+                          f"monotone over L={sorted(ladder)}")
+
+
+def check_lsh_determinism(points: np.ndarray, epsilon: float,
+                          impl: str = "lsh", **options) -> RelationReport:
+    """Same-seed runs produce bit-identical canonical pair sets."""
+    first = run_impl(impl, points, epsilon, **options)
+    second = run_impl(impl, points, epsilon, **options)
+    ok = pair_digest(first) == pair_digest(second)
+    detail = "digests equal" if ok else \
+        (f"same-seed runs differ: {len(first)} vs {len(second)} pairs, "
+         f"digest mismatch")
+    return RelationReport("lsh_determinism", impl, ok, detail)
+
+
+def run_lsh_relations(points: np.ndarray, epsilon: float,
+                      relations: Sequence[str] = LSH_RELATION_NAMES,
+                      impl: str = "lsh",
+                      **options) -> List[RelationReport]:
+    """Run the named approximate-join relations on one workload."""
+    reports: List[RelationReport] = []
+    for relation in relations:
+        if relation == "lsh_precision":
+            reports.append(check_lsh_precision(points, epsilon, impl=impl,
+                                               **options))
+        elif relation == "lsh_tables_monotone":
+            reports.append(check_lsh_tables_monotone(points, epsilon,
+                                                     impl=impl, **options))
+        elif relation == "lsh_determinism":
+            reports.append(check_lsh_determinism(points, epsilon,
+                                                 impl=impl, **options))
+        else:
+            raise ValueError(f"unknown LSH relation {relation!r}")
+    return reports
 
 
 def run_store_relations(points: np.ndarray, epsilon: float, seed: int = 0,

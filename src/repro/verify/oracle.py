@@ -16,6 +16,15 @@ driver can sweep configuration axes (``engine``, ``workers``,
 reference (brute force by default) and reports, per implementation, the
 canonical-pair-set difference — empty everywhere iff all configurations
 produced the identical pair set.
+
+Implementations registered with ``approximate=True`` (the LSH join) are
+held to a different contract: their pair set must be a **subset** of the
+reference's (precision exactly 1.0 — every reported pair is exactly
+re-verified) and its **recall** — the fraction of reference pairs found
+— must meet a configurable floor (``recall_floor``, default 0.9, per
+entry or per config).  Digest equality would reject every run of a
+Monte-Carlo algorithm; the recall floor is the strongest check an
+approximate join can honestly pass, and the precision half stays exact.
 """
 
 from __future__ import annotations
@@ -65,19 +74,29 @@ class OracleEntry:
     unit_cube_only: bool = False
     #: Runs the full external pipeline (slower; the fuzz driver caps n).
     external: bool = False
+    #: The implementation is allowed to miss pairs (never to invent
+    #: them): it is checked against the reference by recall floor
+    #: instead of digest equality.
+    approximate: bool = False
+    #: Default recall floor for approximate implementations; a config
+    #: may override it with a ``recall_floor`` option.
+    recall_floor: float = 0.9
 
 
 REGISTRY: Dict[str, OracleEntry] = {}
 
 
 def register(name: str, options: Sequence[str] = (),
-             unit_cube_only: bool = False, external: bool = False):
+             unit_cube_only: bool = False, external: bool = False,
+             approximate: bool = False, recall_floor: float = 0.9):
     """Decorator adding an implementation to the registry."""
 
     def wrap(fn: OracleFn) -> OracleFn:
         REGISTRY[name] = OracleEntry(name=name, fn=fn, options=options,
                                      unit_cube_only=unit_cube_only,
-                                     external=external)
+                                     external=external,
+                                     approximate=approximate,
+                                     recall_floor=recall_floor)
         return fn
 
     return wrap
@@ -334,6 +353,33 @@ def _mux(points, epsilon, ids=None, *, page_bytes=2048, bucket_records=4,
     return canonical_pairs(report.result)
 
 
+# -- approximate (LSH) ------------------------------------------------------
+
+
+@register("lsh", options=("k", "tables", "recall_target", "w_scale",
+                          "seed", "engine", "backend"),
+          approximate=True, recall_floor=0.9)
+def _lsh(points, epsilon, ids=None, *, k=None, tables=None,
+         recall_target=0.95, w_scale=None, seed=0, engine="auto",
+         backend="simulated") -> np.ndarray:
+    """The p-stable LSH join — the registry's only approximate entry.
+
+    Candidates are exactly re-verified, so the result is always a
+    subset of the reference's pair set; the recall floor (not digest
+    equality) is what ``differential_check`` holds it to.
+    """
+    from ..index.lsh import DEFAULT_K, DEFAULT_W_SCALE
+    from ..joins.lsh_join import lsh_self_join
+
+    report = lsh_self_join(
+        np.asarray(points, dtype=np.float64), epsilon, ids=ids,
+        k=DEFAULT_K if k is None else k, tables=tables,
+        recall_target=recall_target,
+        w_scale=DEFAULT_W_SCALE if w_scale is None else w_scale,
+        seed=seed, engine=engine, backend=backend)
+    return canonical_pairs(report.result)
+
+
 # -- incremental store ------------------------------------------------------
 
 
@@ -447,10 +493,35 @@ class ImplOutcome:
     options: Dict[str, object]
     diff: Optional[PairSetDiff] = None
     error: Optional[str] = None
+    #: Filled for approximate implementations: measured recall against
+    #: the reference and the floor it was held to.
+    recall: Optional[float] = None
+    recall_floor: Optional[float] = None
+    #: Absolute misses always tolerated regardless of the floor — the
+    #: small-sample allowance.  A relative floor alone is statistically
+    #: unsound on tiny workloads: with three true pairs, one
+    #: model-permitted miss (probability 1−recall_target per pair, by
+    #: design) drops measured recall to 0.67 and "fails" a 0.9 floor.
+    miss_allowance: int = 0
+
+    @property
+    def approximate(self) -> bool:
+        """The outcome was judged by recall floor, not digest equality."""
+        return self.recall_floor is not None
 
     @property
     def ok(self) -> bool:
-        return self.error is None and self.diff is not None and self.diff.ok
+        if self.error is not None or self.diff is None:
+            return False
+        if not self.approximate:
+            return self.diff.ok
+        # Precision stays exact even for approximate joins: extra pairs
+        # are a hard failure; only missing pairs trade against the floor
+        # (or the absolute small-sample allowance, whichever is looser).
+        if len(self.diff.extra) != 0:
+            return False
+        return (self.recall >= self.recall_floor
+                or len(self.diff.missing) <= self.miss_allowance)
 
     def describe(self) -> str:
         label = self.name
@@ -460,6 +531,13 @@ class ImplOutcome:
             label = f"{label}[{opts}]"
         if self.error is not None:
             return f"{label}: ERROR {self.error}"
+        if self.approximate:
+            verdict = "ok" if self.ok else "FAIL"
+            allowance = (f", allowance {self.miss_allowance}"
+                         if self.miss_allowance else "")
+            return (f"{label}: {verdict} recall={self.recall:.4f} "
+                    f"(floor {self.recall_floor:g}{allowance}, "
+                    f"extra {len(self.diff.extra)})")
         return f"{label}: {self.diff.summary()}"
 
 
@@ -494,6 +572,16 @@ def differential_check(points: np.ndarray, epsilon: float,
     ``configs`` is a sequence of implementation names or ``(name,
     options)`` tuples.  An implementation raising an exception is
     reported as a failure rather than aborting the sweep.
+
+    Implementations registered ``approximate=True`` are judged by the
+    recall floor (entry default, overridable per config with a
+    ``recall_floor`` option — consumed here, never passed to the
+    implementation) instead of digest equality; extra pairs remain a
+    hard failure for them too.  A per-config ``miss_allowance`` option
+    (also consumed here; default 0) additionally tolerates that many
+    absolute misses, making floor checks on tiny workloads — where one
+    model-permitted miss swings recall from 1.0 to 0.0 — statistically
+    sound.
     """
     expected = run_impl(reference, points, epsilon, ids=ids)
     report = DifferentialReport(reference=reference,
@@ -504,9 +592,23 @@ def differential_check(points: np.ndarray, epsilon: float,
         else:
             name, options = config[0], dict(config[1])
         outcome = ImplOutcome(name=name, options=options)
+        entry = REGISTRY.get(name)
+        run_options = dict(options)
+        floor = None
+        allowance = 0
+        if entry is not None and entry.approximate:
+            floor = float(run_options.pop("recall_floor",
+                                          entry.recall_floor))
+            allowance = int(run_options.pop("miss_allowance", 0))
         try:
-            observed = run_impl(name, points, epsilon, ids=ids, **options)
+            observed = run_impl(name, points, epsilon, ids=ids,
+                                **run_options)
             outcome.diff = diff_pairs(expected, observed)
+            if floor is not None:
+                outcome.recall_floor = floor
+                outcome.miss_allowance = allowance
+                outcome.recall = 1.0 if len(expected) == 0 else \
+                    1.0 - len(outcome.diff.missing) / len(expected)
         except Exception as exc:  # noqa: BLE001 - fuzzing must survive
             outcome.error = f"{type(exc).__name__}: {exc}"
         report.outcomes.append(outcome)

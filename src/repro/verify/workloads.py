@@ -23,6 +23,13 @@ reasoning of the EGO join (Lemmata 2 and 3) is most fragile against:
   (tail points against head anchors), so under the incremental store's
   churned insert sequence the delta×main candidate windows carry pairs
   straddling the ε predicate within a few ulps;
+* ``near_threshold`` — *every* pair distance concentrated at
+  ε·(1 ± 2⁻⁴⁰): anchors spaced far apart, each with a ring of mates
+  straddling the predicate by ulps.  Built for the approximate (LSH)
+  engine, whose collision probabilities are hardest exactly at
+  distance ε — the recall model's worst case is the only case here —
+  while the exact re-verification still has to decide membership at
+  ulp distance;
 * ``uniform`` — the baseline of the paper's experiments.
 
 All generators are pure functions of their seed; the same
@@ -45,7 +52,7 @@ BOUNDARY_DELTA = 2.0 ** -40
 
 WORKLOAD_KINDS: Tuple[str, ...] = (
     "uniform", "boundary", "duplicates", "degenerate", "clusters",
-    "skewed", "store_ops")
+    "skewed", "store_ops", "near_threshold")
 
 
 @dataclass
@@ -167,6 +174,49 @@ def _store_ops(n: int, dimensions: int, epsilon: float,
     return np.concatenate([head, np.asarray(tail)])[:n]
 
 
+def _near_threshold(n: int, dimensions: int, epsilon: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Anchors far apart, every mate at distance ε·(1 ± 2⁻⁴⁰).
+
+    Unlike ``boundary`` (uniform base + some planted mates), here the
+    planted pairs are essentially the *only* pairs: anchors sit on a
+    coarse jittered lattice ≫ 2ε apart, so the expected pair set is
+    exactly the just-inside mates.  Recall estimation for the LSH
+    engine is then measured purely at its worst-case distance.
+    """
+    n_anchor = max(1, n // 4)
+    # Seeded thinning: accept uniform draws at least 3ε from every
+    # accepted anchor, so anchor-anchor (and mate-mate across anchors)
+    # distances stay far outside ε.  When the cube is too crowded for
+    # the separation (large ε), later draws are accepted as-is — the
+    # extra pairs are merely ordinary in-ε pairs, still exact.
+    accepted = [rng.random(dimensions)]
+    attempts = 0
+    while len(accepted) < n_anchor:
+        candidate = rng.random(dimensions)
+        attempts += 1
+        gap_sq = min(float(np.sum((candidate - a) ** 2))
+                     for a in accepted)
+        if gap_sq >= (3.0 * epsilon) ** 2 or attempts > 20 * n_anchor:
+            accepted.append(candidate)
+    anchors = np.asarray(accepted)
+    rows = [anchors]
+    produced = n_anchor
+    side = 1.0
+    while produced < n:
+        anchor = anchors[rng.integers(0, n_anchor)]
+        direction = rng.normal(size=dimensions)
+        norm = np.linalg.norm(direction)
+        if norm == 0.0:
+            continue
+        direction /= norm
+        radius = epsilon * (1.0 + side * BOUNDARY_DELTA)
+        side = -side
+        rows.append((anchor + radius * direction)[None, :])
+        produced += 1
+    return np.concatenate(rows)[:n]
+
+
 def generate_workload(kind: str, n: int, dimensions: int, epsilon: float,
                       seed: int) -> Workload:
     """Generate one seeded workload of the named ``kind``."""
@@ -188,6 +238,8 @@ def generate_workload(kind: str, n: int, dimensions: int, epsilon: float,
         pts = _skewed(n, dimensions, epsilon, rng)
     elif kind == "store_ops":
         pts = _store_ops(n, dimensions, epsilon, rng)
+    elif kind == "near_threshold":
+        pts = _near_threshold(n, dimensions, epsilon, rng)
     else:
         pts = gaussian_clusters(n, dimensions, clusters=max(2, n // 40),
                                 std=epsilon / 2, seed=rng)
